@@ -1,0 +1,104 @@
+"""Ablation benches for the toolkit's own design choices (DESIGN.md §4).
+
+Three internal decisions are measured rather than assumed:
+
+* **fault collapsing** — how much fault-simulation work equivalence
+  collapsing removes at identical coverage accounting;
+* **compaction strategy** — greedy set-cover vs reverse-order: pattern
+  counts and their relative costs;
+* **random-then-deterministic ATPG** — the two-phase flow vs PODEM-only:
+  total PODEM calls saved by the cheap random phase.
+"""
+
+from repro.atpg import (
+    Podem,
+    compact_greedy,
+    compact_reverse,
+    generate_tests,
+    random_tpg,
+)
+from repro.circuit import load
+from repro.core import format_table
+from repro.faults import all_stuck_at, collapse
+from repro.sim import fault_simulate, pack_patterns, random_patterns
+
+
+def _collapsing_ablation():
+    rows = []
+    for name in ("c17", "rca8", "alu4", "mul4"):
+        circuit = load(name)
+        full = all_stuck_at(circuit)
+        reps, _ = collapse(circuit)
+        packed = random_patterns(circuit.inputs + list(circuit.flops), 64,
+                                 seed=1)
+        state = {q: packed[q] for q in circuit.flops}
+        cov_full = fault_simulate(circuit, full, packed, 64,
+                                  state=state).coverage
+        cov_reps = fault_simulate(circuit, reps, packed, 64,
+                                  state=state).coverage
+        rows.append((name, len(full), len(reps),
+                     f"{len(reps) / len(full):.2f}",
+                     f"{abs(cov_full - cov_reps):.3f}"))
+    return rows
+
+
+def _compaction_ablation():
+    circuit = load("rand200")
+    faults, _ = collapse(circuit)
+    rt = random_tpg(circuit, faults, max_patterns=192, seed=1)
+    extra, _unt, _ab = generate_tests(circuit, rt.remaining)
+    patterns = rt.patterns + extra
+    greedy = compact_greedy(circuit, faults, patterns)
+    reverse = compact_reverse(circuit, faults, patterns)
+
+    def coverage(pats):
+        packed = pack_patterns(pats)
+        return fault_simulate(circuit, faults, packed, len(pats)).coverage
+
+    return [
+        ("uncompacted", len(patterns), f"{coverage(patterns):.3f}"),
+        ("greedy set-cover", len(greedy), f"{coverage(greedy):.3f}"),
+        ("reverse-order", len(reverse), f"{coverage(reverse):.3f}"),
+    ]
+
+
+def _two_phase_ablation():
+    circuit = load("alu4")
+    faults, _ = collapse(circuit)
+    # PODEM-only: one engine call per fault
+    podem_only_calls = len(faults)
+    # two-phase: random knocks out the easy ones first
+    rt = random_tpg(circuit, faults, max_patterns=128, seed=1)
+    two_phase_calls = len(rt.remaining)
+    engine = Podem(circuit)
+    backtracks = sum(engine.run(f).backtracks for f in faults[:40])
+    return podem_only_calls, two_phase_calls, backtracks
+
+
+def test_ablation_design_choices(benchmark):
+    collapsing, compaction, (podem_only, two_phase, backtracks) = \
+        benchmark.pedantic(
+            lambda: (_collapsing_ablation(), _compaction_ablation(),
+                     _two_phase_ablation()),
+            rounds=1, iterations=1)
+
+    print("\n" + format_table(
+        ["circuit", "full universe", "collapsed", "ratio", "|coverage diff|"],
+        collapsing, title="ablation 1 — fault collapsing"))
+    print("\n" + format_table(
+        ["test set", "patterns", "coverage"],
+        compaction, title="ablation 2 — compaction strategy"))
+    print(f"\nablation 3 — two-phase ATPG: PODEM-only {podem_only} engine "
+          f"calls vs {two_phase} after the random phase "
+          f"({1 - two_phase / podem_only:.0%} saved); "
+          f"{backtracks} total backtracks on a 40-fault sample")
+
+    # collapsing must be loss-free for coverage accounting and save work
+    assert all(float(row[4]) < 0.05 for row in collapsing)
+    assert all(int(row[2]) < int(row[1]) for row in collapsing)
+    # both compactors must preserve coverage and shrink the set
+    base_cov = compaction[0][2]
+    assert compaction[1][2] == base_cov and compaction[2][2] == base_cov
+    assert compaction[1][1] <= compaction[0][1]
+    # the random phase removes the bulk of deterministic work
+    assert two_phase < podem_only / 2

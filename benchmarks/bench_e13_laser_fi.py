@@ -1,0 +1,51 @@
+"""E13 — laser fault injection vs technology node ([18], III.F).
+
+"Fault injections switching a single transistor at least in the 250nm
+technology are successful and repeatable", enabling flips of "identified
+registers that allow/prevent access to sensitive data".  Rows: per-node
+single-bit success, collateral and miss rates for the unlock-register
+attack, plus the DFA payload a single-bit capability enables.
+"""
+
+from repro.core import format_table
+from repro.security import (
+    dfa_with_redundancy_countermeasure,
+    full_dfa_attack,
+    unlock_register_attack,
+)
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def _experiment():
+    rows = []
+    for tech in ("250nm", "130nm", "65nm", "28nm"):
+        stats = unlock_register_attack(tech, attempts=60, seed=5)
+        rows.append((tech, f"{stats.single_bit_success_rate:.2f}",
+                     f"{stats.collateral / stats.attempts:.2f}",
+                     f"{stats.misses / stats.attempts:.2f}"))
+    recovered = full_dfa_attack(KEY, seed=2)
+    released_plain, released_protected = \
+        dfa_with_redundancy_countermeasure(KEY, seed=3)
+    return rows, recovered == KEY, (released_plain, released_protected)
+
+
+def test_e13_laser_fi(benchmark):
+    rows, dfa_success, (plain, protected) = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["technology", "single-bit success", "multi-bit collateral", "miss"],
+        rows, title="E13 — targeted unlock-register attack (60 shots)"))
+    print(f"DFA payload with single-bit faults: master key recovered = "
+          f"{dfa_success}")
+    print(f"duplicate-and-compare countermeasure: faulty ciphertexts "
+          f"released {plain} -> {protected}")
+
+    # claim shape: repeatable single-bit flips at 250nm, collateral-
+    # dominated at deep submicron; single-bit capability breaks AES;
+    # redundancy blocks the exploit channel
+    by_tech = {r[0]: float(r[1]) for r in rows}
+    assert by_tech["250nm"] > 0.9
+    assert by_tech["28nm"] < 0.1
+    assert dfa_success
+    assert protected == 0

@@ -1,0 +1,73 @@
+"""E16 — FinFET SRAM PUF: simulation vs analytical model (III.F).
+
+"We have developed a simulation framework and an analytical mathematical
+model for FinFET SRAM PUFs in order to be able to investigate
+reliability and entropy performance."  Rows: the metric scorecard per
+technology, the model-vs-simulation comparison, and the fuzzy-extractor
+key-failure outcome.
+"""
+
+from repro.core import format_table
+from repro.puf import (
+    FINFET_16NM,
+    FuzzyExtractor,
+    FuzzyExtractorConfig,
+    PLANAR_28NM,
+    SramPuf,
+    key_failure_rate,
+    make_population,
+    predicted_intra_hd,
+    scorecard,
+)
+
+
+def _experiment():
+    cards = {}
+    for tech in (FINFET_16NM, PLANAR_28NM):
+        population = make_population(6, 768, tech, base_seed=1)
+        cards[tech.name] = scorecard(population, n_readouts=6)
+
+    model_rows = []
+    for temp in (25.0, 85.0, -40.0):
+        predicted = predicted_intra_hd(FINFET_16NM, temp)
+        model_rows.append((f"{temp:+.0f} C", predicted))
+
+    extractor = FuzzyExtractor(FuzzyExtractorConfig(key_nibbles=32,
+                                                    repetition=5))
+    puf = SramPuf(extractor.config.response_bits, FINFET_16NM, device_seed=42)
+    key, helper = extractor.enroll(puf.reference_response(), secret_seed=7)
+    failures = {
+        temp: key_failure_rate(puf, helper, key, extractor, n_trials=20,
+                               temp_c=temp)
+        for temp in (25.0, 85.0)
+    }
+    return cards, model_rows, failures
+
+
+def test_e16_puf(benchmark):
+    cards, model_rows, failures = benchmark.pedantic(_experiment, rounds=1,
+                                                     iterations=1)
+    rows = []
+    for name, card in cards.items():
+        rows.append((name, f"{card.intra_hd_25c:.4f}",
+                     f"{card.intra_hd_hot:.4f}", f"{card.inter_hd:.3f}",
+                     f"{card.uniformity:.3f}", f"{card.min_entropy:.2f}"))
+    print("\n" + format_table(
+        ["technology", "intra-HD 25C", "intra-HD 85C", "inter-HD",
+         "uniformity", "min-entropy"],
+        rows, title="E16 — PUF scorecards"))
+    finfet = cards["finfet_16nm"]
+    print("analytical model intra-HD: "
+          + ", ".join(f"{t}: {v:.4f}" for t, v in model_rows))
+    print(f"key failure rate: " + ", ".join(
+        f"{t:.0f}C: {v:.2f}" for t, v in failures.items()))
+
+    # claim shape: uniqueness ~50%, reliability a few %, FinFET better
+    # than planar, model matches simulation, keys reconstruct reliably
+    assert 0.45 < finfet.inter_hd < 0.55
+    assert finfet.intra_hd_25c < 0.05
+    assert finfet.intra_hd_hot < cards["planar_28nm"].intra_hd_hot
+    predicted_25 = model_rows[0][1]
+    assert abs(predicted_25 - finfet.intra_hd_25c) < 0.02
+    assert failures[25.0] == 0.0
+    assert failures[85.0] < 0.2

@@ -1,0 +1,72 @@
+"""E19 — RIIF exchange and the community campaign database (IV.A).
+
+"Extra-functional information, such as technology fault data,
+environment-induced events rates, etc., must be generated, consumed and
+exchanged transparently" (RIIF), and "RESCUE aims at generating and
+providing to the community large databases with the results of fault
+simulation campaigns".  The bench round-trips an AutoSoC reliability
+model through the text format, bridges it into a FIT budget, and
+aggregates a stored campaign.
+"""
+
+from repro.circuit import load
+from repro.core import (
+    CampaignDb,
+    ComponentModel,
+    FailureModeSpec,
+    RiifDocument,
+    SystemModel,
+    emit_riif,
+    format_table,
+    parse_riif,
+)
+from repro.soft_error import random_workload, run_campaign
+
+
+def _experiment():
+    doc = RiifDocument()
+    doc.components["sram_bank"] = ComponentModel(
+        "sram_bank", {"bits": 65536, "derating": 0.2},
+        [FailureModeSpec("seu", 32.8), FailureModeSpec("sefi", 1.2, True)])
+    doc.components["cpu_flops"] = ComponentModel(
+        "cpu_flops", {"bits": 4096, "derating": 0.35},
+        [FailureModeSpec("seu", 2.05)])
+    doc.systems["autosoc"] = SystemModel(
+        "autosoc", [("l1", "sram_bank", 2), ("pipeline", "cpu_flops", 1)])
+
+    text = emit_riif(doc)
+    parsed = parse_riif(text)
+    budget = parsed.to_fit_budget("autosoc", "ASIL-B")
+
+    # a campaign produced by one "tool", stored for the community
+    circuit = load("rand_seq")
+    workload = random_workload(circuit, 10, seed=5)
+    campaign = run_campaign(circuit, workload, sample=120, seed=6)
+    with CampaignDb() as db:
+        cid = db.create_campaign("seu-sample", circuit.name, "seu", "rand10")
+        db.record_many(cid, [(inj.flop, inj.cycle, inj.outcome)
+                             for inj in campaign.injections])
+        summary = db.summary(cid)
+        avf = db.failure_rate_by_location(cid)
+    return text, parsed, budget, summary, avf
+
+
+def test_e19_riif(benchmark):
+    text, parsed, budget, summary, avf = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1)
+    print(f"\nRIIF document: {len(text.splitlines())} lines, "
+          f"{len(parsed.components)} component models")
+    print(format_table(
+        ["component", "bits", "raw FIT", "logic", "timing", "AVF",
+         "prot", "eff FIT"],
+        budget.rows(), title="E19 — budget built from exchanged RIIF"))
+    print(f"system FIT {parsed.system_fit('autosoc'):.1f}; ASIL-B "
+          f"{'PASS' if budget.meets_target else 'FAIL'}")
+    print(f"stored campaign: {summary.total} injections, outcomes "
+          f"{summary.outcomes}; {len(avf)} per-location AVF entries")
+
+    # claim shape: exact round trip, consistent totals, queryable store
+    assert emit_riif(parsed) == text
+    assert parsed.system_fit("autosoc") == (32.8 + 1.2) * 2 + 2.05
+    assert summary.total == 120
+    assert avf

@@ -1,0 +1,44 @@
+"""E2 — the FIT-budget overshoot (III.B headline numbers).
+
+"Standard flip-flops and SRAM memories ... exhibit error rates of
+hundreds of FITs [per Mbit].  Complex circuits using such cells can
+easily overshoot the 10 FIT target mandated by the ISO 26262 for an
+automotive ASIL D application."  The bench sweeps design sizes and finds
+the crossover where the budget breaks, then shows ECC restoring it.
+"""
+
+from repro.core import format_table
+from repro.soft_error import ComponentSER, FitBudget, RAW_FIT_PER_MBIT
+
+
+def _sweep():
+    rows = []
+    crossover_bits = None
+    for mbits in (0.01, 0.05, 0.1, 0.5, 1.0, 4.0, 16.0):
+        bits = int(mbits * 1e6)
+        plain = FitBudget("ASIL-D").add(ComponentSER(
+            "sram", bits, "28nm", functional_derating=0.2))
+        ecc = FitBudget("ASIL-D").add(ComponentSER(
+            "sram", bits, "28nm", functional_derating=0.2, protected=True))
+        rows.append((mbits, round(plain.total_effective_fit, 2),
+                     "PASS" if plain.meets_target else "FAIL",
+                     round(ecc.total_effective_fit, 3),
+                     "PASS" if ecc.meets_target else "FAIL"))
+        if crossover_bits is None and not plain.meets_target:
+            crossover_bits = bits
+    return rows, crossover_bits
+
+
+def test_e2_fit_budget(benchmark):
+    rows, crossover = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["Mbit of state", "FIT (plain)", "ASIL-D", "FIT (ECC)", "ASIL-D "],
+        rows, title="E2 — FIT vs ISO 26262 ASIL-D (10 FIT), 28nm"))
+    print(f"raw technology rate: {RAW_FIT_PER_MBIT['28nm']} FIT/Mbit "
+          f"(the 'hundreds of FITs' band); budget breaks at "
+          f"~{crossover / 1e6:.2f} Mbit unprotected")
+
+    # claim shape: hundreds of FIT/Mbit; sub-Mbit crossover; ECC fixes it
+    assert 100 <= RAW_FIT_PER_MBIT["28nm"] <= 1000
+    assert crossover is not None and crossover < 1_000_000
+    assert all(row[4] == "PASS" for row in rows[:-1])  # ECC holds the line

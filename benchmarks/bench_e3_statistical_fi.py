@@ -1,0 +1,39 @@
+"""E3 — exhaustive vs statistical fault injection (III.B).
+
+"[Exhaustive injection] is obviously ultimate in terms of accuracy but
+very cumbersome ... The random fault injection method provides a
+solution to avoid unreasonable costs while allowing for accuracy (or
+statistical significance)."  Rows: sample size, campaign-cost fraction,
+estimate error, confidence interval.
+"""
+
+from repro.circuit import load
+from repro.core import format_table
+from repro.soft_error import cost_accuracy_rows, random_workload, run_study
+
+
+def _study():
+    circuit = load("rand_seq")
+    workload = random_workload(circuit, 16, seed=7)
+    return run_study(circuit, workload,
+                     sample_sizes=(20, 50, 100, 192), margin=0.05, seed=8)
+
+
+def test_e3_statistical_fi(benchmark):
+    study = benchmark.pedantic(_study, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["n injections", "cost fraction", "estimate", "|error|",
+         "95% CI", "CI covers truth"],
+        cost_accuracy_rows(study),
+        title=f"E3 — statistical FI (population {study.population}, "
+              f"true rate {study.true_rate:.3f})"))
+    print(f"Leveugle bound for 5% margin @95%: {study.recommended_n} "
+          f"injections ({study.recommended_n / study.population:.0%} of "
+          f"exhaustive)")
+
+    # claim shape: errors shrink with n; a fraction of the exhaustive cost
+    # already delivers a covered, tight estimate
+    errors = [p.abs_error for p in study.points]
+    assert errors[-1] <= errors[0] + 1e-9
+    assert study.recommended_n < study.population
+    assert all(p.ci_contains_truth for p in study.points[-2:])

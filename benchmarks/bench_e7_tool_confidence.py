@@ -1,0 +1,62 @@
+"""E7 — tool-confidence cross-check ([20][48][50], III.D).
+
+"Combining the strengths of ATPGs, Formal methods and Fault Injection
+simulation to automatically verify tools and detect any errors in their
+fault classification."  The bench cross-checks the three engines clean
+(full agreement) and then with two seeded tool bugs (both flagged).
+"""
+
+from repro.circuit import load
+from repro.core import format_table
+from repro.faults import collapse
+from repro.safety import (
+    atpg_classifier,
+    buggy_drops_branch_faults,
+    buggy_optimistic,
+    cross_check,
+    default_engines,
+    formal_classifier,
+)
+
+
+def _experiment():
+    circuit = load("c17")
+    faults, _ = collapse(circuit)
+    clean = cross_check(circuit, faults, default_engines())
+
+    engines_a = default_engines()
+    engines_a["atpg_buggy"] = buggy_drops_branch_faults(atpg_classifier)
+    bug_a = cross_check(circuit, faults, engines_a)
+
+    mul = load("mul4")
+    mul_faults, _ = collapse(mul)
+    engines_b = {"formal": formal_classifier,
+                 "optimistic": buggy_optimistic(formal_classifier, every=1)}
+    bug_b = cross_check(mul, mul_faults, engines_b)
+    return clean, bug_a, bug_b
+
+
+def test_e7_tool_confidence(benchmark):
+    clean, bug_a, bug_b = benchmark.pedantic(_experiment, rounds=1,
+                                             iterations=1)
+    rows = [
+        ("clean trio (c17)", len(clean.hard_disagreements),
+         len(clean.soft_disagreements), clean.tool_bug_suspected),
+        ("+ branch-dropping ATPG", len(bug_a.hard_disagreements),
+         len(bug_a.soft_disagreements), bug_a.tool_bug_suspected),
+        ("optimistic classifier (mul4)", len(bug_b.hard_disagreements),
+         len(bug_b.soft_disagreements), bug_b.tool_bug_suspected),
+    ]
+    print("\n" + format_table(
+        ["scenario", "hard disagreements", "soft", "bug suspected"],
+        rows, title="E7 — fault-classification cross-check"))
+    matrix = clean.agreement_matrix()
+    print("clean pairwise agreement: "
+          + ", ".join(f"{a}-{b}:{v:.2f}"
+                      for (a, b), v in matrix.items() if a < b))
+
+    # claim shape: clean tools agree fully; every seeded bug is flagged
+    assert not clean.tool_bug_suspected
+    assert bug_a.tool_bug_suspected
+    assert bug_b.tool_bug_suspected
+    assert all(v == 1.0 for v in matrix.values())

@@ -1,0 +1,49 @@
+"""E8 — dynamic-slicing acceleration of FI campaigns ([49][51], III.D).
+
+"Our work on dynamic slicing aims at pruned fault lists and smarter
+injection to save some of these efforts."  Rows: simulations run,
+injections skipped per rule, speedup — with the mandatory property that
+the accelerated campaign classifies every injection identically.
+"""
+
+from repro.circuit import load
+from repro.core import format_table
+from repro.faults import collapse
+from repro.safety import (
+    run_naive_campaign,
+    run_sliced_campaign,
+    verify_equivalence,
+)
+from repro.soft_error import random_workload
+
+
+def _experiment():
+    circuit = load("rand_seq")
+    faults, _ = collapse(circuit)
+    workload = random_workload(circuit, 12, seed=21)
+    subset = faults[:60]
+    naive = run_naive_campaign(circuit, subset, workload)
+    sliced = run_sliced_campaign(circuit, subset, workload)
+    return naive, sliced
+
+
+def test_e8_slicing_speedup(benchmark):
+    naive, sliced = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    rows = [
+        ("naive", naive.simulated, 0, 0, "1.00x"),
+        ("dynamic slicing", sliced.simulated, sliced.skipped_no_activation,
+         sliced.skipped_no_path, f"{sliced.speedup_estimate():.2f}x"),
+    ]
+    print("\n" + format_table(
+        ["campaign", "simulations", "skipped (no activation)",
+         "skipped (no path)", "speedup"],
+        rows, title=f"E8 — FI acceleration ({naive.total} injections)"))
+    print(f"classifications identical: "
+          f"{verify_equivalence(naive, sliced)}; "
+          f"skip fraction {sliced.skip_fraction:.0%}")
+
+    # claim shape: lossless, with a material fraction of the work removed
+    assert verify_equivalence(naive, sliced)
+    assert sliced.simulated < naive.simulated
+    assert sliced.skip_fraction > 0.25
+    assert sliced.speedup_estimate() > 1.3

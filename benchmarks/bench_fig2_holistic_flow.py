@@ -1,0 +1,80 @@
+"""F2 — regenerate Fig. 2: the holistic EDA flow on one design.
+
+One netlist descends through quality (ATPG + coverage), reliability
+(SEU campaign + FIT budget) and security (laser susceptibility of its
+register file) stages that share artifacts — the cross-domain pipeline
+the RESCUE project proposes instead of isolated point tools.
+"""
+
+from repro.atpg import generate_tests, random_tpg
+from repro.circuit import load
+from repro.core import Flow, Stage, format_table
+from repro.faults import collapse
+from repro.security import unlock_register_attack
+from repro.sim import fault_simulate, pack_patterns
+from repro.soft_error import ComponentSER, FitBudget, random_workload, run_campaign
+
+
+def _make_flow() -> Flow:
+    flow = Flow("holistic")
+    flow.add_stage(Stage("netlist", (), ("circuit",),
+                         lambda a: {"circuit": load("rand_seq")}, "quality"))
+
+    def atpg(art):
+        circuit = art["circuit"]
+        faults, _ = collapse(circuit)
+        rt = random_tpg(circuit, faults, max_patterns=128, seed=1)
+        extra, untestable, _ab = generate_tests(circuit, rt.remaining)
+        patterns = rt.patterns + extra
+        packed = pack_patterns(patterns)
+        sim = fault_simulate(circuit, faults, packed, len(patterns),
+                             state=packed)
+        denom = len(faults) - len(untestable)
+        return {"coverage": len(sim.detected) / denom if denom else 1.0}
+
+    flow.add_stage(Stage("atpg", ("circuit",), ("coverage",), atpg, "quality"))
+
+    def seu(art):
+        circuit = art["circuit"]
+        workload = random_workload(circuit, 10, seed=2)
+        campaign = run_campaign(circuit, workload, sample=120, seed=3)
+        return {"avf": campaign.failure_rate}
+
+    flow.add_stage(Stage("seu_campaign", ("circuit",), ("avf",), seu,
+                         "reliability"))
+
+    def fit(art):
+        budget = FitBudget("ASIL-B")
+        budget.add(ComponentSER("state", 4096, "28nm",
+                                functional_derating=art["avf"]))
+        return {"fit_ok": budget.meets_target,
+                "fit_total": budget.total_effective_fit}
+
+    flow.add_stage(Stage("fit_budget", ("avf",), ("fit_ok", "fit_total"),
+                         fit, "reliability"))
+
+    def laser(art):
+        stats = unlock_register_attack("28nm", attempts=40, seed=5)
+        return {"laser_single_bit": stats.single_bit_success_rate}
+
+    flow.add_stage(Stage("laser_audit", ("circuit",), ("laser_single_bit",),
+                         laser, "security"))
+    return flow
+
+
+def test_fig2_holistic_flow(benchmark):
+    report = benchmark.pedantic(lambda: _make_flow().run(),
+                                rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["stage", "aspect", "seconds", "produces"], report.rows(),
+        title="Fig. 2 — holistic flow run"))
+    print(f"\nartifacts: coverage={report.artifacts['coverage']:.3f} "
+          f"avf={report.artifacts['avf']:.3f} "
+          f"fit={report.artifacts['fit_total']:.2f} "
+          f"laser-1bit={report.artifacts['laser_single_bit']:.2f}")
+
+    # the flow must traverse all three aspects and share the circuit
+    aspects = {s.aspect for s in report.stages}
+    assert aspects == {"quality", "reliability", "security"}
+    assert report.artifacts["coverage"] > 0.9
+    assert 0.0 <= report.artifacts["avf"] <= 1.0

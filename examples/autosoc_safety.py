@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""AutoSoC safety-configuration comparison (Section IV.B).
+
+Runs the cruise-control application under fault injection in all four
+SoC configurations and prints the outcome distribution — the experiment
+the AutoSoC benchmark suite exists to make comparable across research
+groups.
+"""
+
+from repro.autosoc import (
+    APPLICATIONS,
+    SocConfig,
+    compare_configurations,
+)
+from repro.autosoc.fi import (
+    CORRECTED_ECC,
+    DETECTED_ECC,
+    DETECTED_LOCKSTEP,
+    HANG,
+    MASKED,
+    SDC,
+)
+from repro.core import format_table
+
+
+def main() -> None:
+    app = APPLICATIONS["cruise_control"]
+    configs = [SocConfig.QM, SocConfig.LOCKSTEP, SocConfig.ECC, SocConfig.FULL]
+    results = compare_configurations(app, configs, n_cpu=30, n_ram=15, seed=11)
+
+    rows = []
+    for config in configs:
+        res = results[config]
+        rows.append((
+            config.value,
+            f"{res.rate(MASKED):.2f}",
+            f"{res.rate(SDC):.2f}",
+            f"{res.rate(DETECTED_LOCKSTEP):.2f}",
+            f"{res.rate(CORRECTED_ECC) + res.rate(DETECTED_ECC):.2f}",
+            f"{res.rate(HANG):.2f}",
+            f"{res.mean_detection_latency:.1f}",
+        ))
+    print(format_table(
+        ["config", "masked", "SDC", "lockstep", "ecc", "hang",
+         "det latency (cyc)"],
+        rows, title=f"fault injection on '{app.name}' "
+                    f"({results[configs[0]].total} injections/config)"))
+
+    qm, full = results[SocConfig.QM], results[SocConfig.FULL]
+    print(f"\ndangerous-outcome rate: QM {qm.dangerous_rate:.2f} -> "
+          f"FULL {full.dangerous_rate:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""PASCAL-style side-channel audit of crypto implementations (III.F, [34]).
+
+Audits four implementations for timing leakage, then demonstrates what
+an attacker does with a leak: CPA key recovery from power traces of the
+leaky AES, silence against the masked constant-time variant.
+"""
+
+from repro.core import format_table
+from repro.crypto import (
+    AesConstantTime,
+    AesLeaky,
+    montgomery_ladder,
+    square_and_multiply,
+)
+from repro.security import audit_timing, success_rate_curve, tvla
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def main() -> None:
+    leaky, const = AesLeaky(KEY), AesConstantTime(KEY)
+    audits = [
+        audit_timing("modexp square&multiply",
+                     lambda s, d: square_and_multiply(d or 3, s, 65537).cycles),
+        audit_timing("modexp Montgomery ladder",
+                     lambda s, d: montgomery_ladder(d or 3, s, 65537).cycles),
+        audit_timing("AES table (cache model)",
+                     lambda s, d: leaky.encrypt(
+                         s.to_bytes(16, "little"))[1].cycles,
+                     secret_bits=128),
+        audit_timing("AES constant-time",
+                     lambda s, d: const.encrypt(
+                         s.to_bytes(16, "little"))[1].cycles,
+                     secret_bits=128),
+    ]
+    rows = [(a.name, a.verdict, f"{a.t_statistic:.1f}",
+             f"{a.hw_correlation:.2f}", "; ".join(a.leak_details) or "-")
+            for a in audits]
+    print(format_table(["implementation", "verdict", "|t|", "HW corr",
+                        "details"], rows, title="timing audit"))
+
+    print("\npower side channel (TVLA then CPA):")
+    for name, cipher_factory in (("leaky", lambda: AesLeaky(KEY)),
+                                 ("constant-time", lambda: AesConstantTime(KEY))):
+        leak = tvla(cipher_factory(), 100, seed=5)
+        curve = success_rate_curve(cipher_factory, KEY, [10, 25, 50], seed=4)
+        curve_str = ", ".join(f"{n}tr:{rate:.2f}" for n, rate in curve)
+        print(f"  {name:14s} TVLA max|t|={leak.max_t:5.1f} "
+              f"leaks={leak.leaks!s:5s}  CPA key bytes: {curve_str}")
+
+
+if __name__ == "__main__":
+    main()

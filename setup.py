@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no ``wheel`` package and no network, so PEP 517
+editable builds are unavailable; this shim lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` path. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

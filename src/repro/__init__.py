@@ -1,0 +1,42 @@
+"""repro — a RESCUE-style holistic EDA toolkit.
+
+This package reproduces the system portfolio described in *RESCUE:
+Interdependent Challenges of Reliability, Security and Quality in
+Nanoelectronic Systems* (Jenihhin et al., DATE 2020): a set of interacting
+analysis engines for the three extra-functional design aspects the paper
+names — reliability, security and quality — plus the substrates they need
+(gate-level circuits, fault simulators, a RISC SoC, a SIMT GPGPU core,
+SRAM models, crypto cores).
+
+Subpackages
+-----------
+``repro.circuit``
+    Gate-level netlists, circuit generators, testability analysis.
+``repro.faults`` / ``repro.sim``
+    Fault models, fault universes, logic/event/fault simulation.
+``repro.atpg``
+    PODEM, random TPG, compaction, untestable-fault identification, SBST.
+``repro.soft_error``
+    SEU/SET vulnerability analysis, FIT budgeting, CDN SETs, ML predictors.
+``repro.ftol``
+    ECC, redundancy, on-chip monitors, cross-layer fault management.
+``repro.safety``
+    ISO 26262 metrics, FMECA, tool-confidence cross-checks, FI slicing.
+``repro.rsn``
+    IEEE 1687-style reconfigurable scan networks: retargeting, test,
+    diagnosis, aging.
+``repro.aging`` / ``repro.memory``
+    BTI/HCI models, decoder aging mitigation, FinFET SRAM defects and DFT.
+``repro.crypto`` / ``repro.security``
+    AES/modexp cores; timing/power side channels, laser FI, AI detector.
+``repro.puf``
+    SRAM PUF simulation, metrics, analytical models, fuzzy extraction.
+``repro.autosoc`` / ``repro.gpgpu``
+    The AutoSoC automotive benchmark SoC and a FlexGrip-style SIMT core.
+``repro.core``
+    The holistic flow: registry, campaign management, RIIF, statistics.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,38 @@
+"""Transistor-aging models, decoder aging, and software mitigation."""
+
+from .bti import SECONDS_PER_YEAR, BtiModel, HciModel, combined_delta_vth
+from .decoder_aging import (
+    DecoderAgingReport,
+    age_decoder,
+    gate_duties_from_profile,
+    gate_input_stress,
+    hot_cold_profile,
+    uniform_profile,
+)
+from .delay import AgedPath, DelayModel, guard_band_for
+from .mitigation import (
+    MitigationOutcome,
+    RejuvenationSearch,
+    balance_profile,
+    mitigate_decoder,
+)
+
+__all__ = [
+    "AgedPath",
+    "BtiModel",
+    "DecoderAgingReport",
+    "DelayModel",
+    "HciModel",
+    "MitigationOutcome",
+    "RejuvenationSearch",
+    "SECONDS_PER_YEAR",
+    "age_decoder",
+    "balance_profile",
+    "combined_delta_vth",
+    "gate_duties_from_profile",
+    "gate_input_stress",
+    "guard_band_for",
+    "hot_cold_profile",
+    "mitigate_decoder",
+    "uniform_profile",
+]

@@ -1,0 +1,100 @@
+"""BTI and HCI transistor-aging models (paper III.E).
+
+Bias temperature instability is "the dominant phenomenon for the current
+technologies": a pMOS (NBTI) or nMOS (PBTI) threshold voltage drifts
+while the device is under bias (its *duty factor*), partially recovering
+otherwise.  We use the standard long-term power-law form
+
+    ΔVth(t) = A · duty^p · t^n · AF(T)
+
+with time exponent n ≈ 0.2, duty exponent p ≈ 0.5 (reaction-diffusion
+long-term average with recovery folded in) and Arrhenius temperature
+acceleration AF.  Hot-carrier injection adds a switching-activity-driven
+term with t^0.5.  Absolute constants are calibrated to produce tens of
+millivolts over a 10-year mission at 125 °C — the magnitude regime the
+RESCUE aging studies ([36], [24], [7]) operate in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+BOLTZMANN_EV = 8.617333262e-5
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class BtiModel:
+    """Long-term BTI ΔVth model with duty and temperature dependence."""
+
+    prefactor_v: float = 4.5e-4   # ΔVth at duty=1, t=1 s, T=ref (volts)
+    time_exponent: float = 0.2
+    duty_exponent: float = 0.5
+    activation_energy_ev: float = 0.08
+    reference_temp_c: float = 25.0
+
+    def acceleration(self, temp_c: float) -> float:
+        """Arrhenius acceleration factor relative to the reference temp."""
+        t_ref = self.reference_temp_c + 273.15
+        t = temp_c + 273.15
+        return math.exp(self.activation_energy_ev / BOLTZMANN_EV
+                        * (1.0 / t_ref - 1.0 / t))
+
+    def delta_vth(self, t_seconds: float, duty: float = 1.0,
+                  temp_c: float = 25.0) -> float:
+        """Threshold shift (volts) after ``t_seconds`` of operation."""
+        if t_seconds < 0:
+            raise ValueError("time must be non-negative")
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError("duty factor must be in [0, 1]")
+        if t_seconds == 0 or duty == 0:
+            return 0.0
+        return (self.prefactor_v
+                * duty ** self.duty_exponent
+                * t_seconds ** self.time_exponent
+                * self.acceleration(temp_c))
+
+    def delta_vth_years(self, years: float, duty: float = 1.0,
+                        temp_c: float = 25.0) -> float:
+        return self.delta_vth(years * SECONDS_PER_YEAR, duty, temp_c)
+
+    def rejuvenation_gain(self, duty_before: float, duty_after: float,
+                          years: float, temp_c: float = 25.0) -> float:
+        """Fractional ΔVth reduction from a duty-balancing change."""
+        before = self.delta_vth_years(years, duty_before, temp_c)
+        if before == 0:
+            return 0.0
+        after = self.delta_vth_years(years, duty_after, temp_c)
+        return 1.0 - after / before
+
+
+@dataclass(frozen=True)
+class HciModel:
+    """Hot-carrier injection: switching-driven Vth drift, ~sqrt(t)."""
+
+    prefactor_v: float = 4.0e-4
+    time_exponent: float = 0.5
+
+    def delta_vth(self, t_seconds: float, activity: float = 0.1) -> float:
+        """``activity`` is the toggle rate (transitions per cycle, 0..1)."""
+        if t_seconds < 0:
+            raise ValueError("time must be non-negative")
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        return self.prefactor_v * activity * t_seconds ** self.time_exponent
+
+
+def combined_delta_vth(
+    years: float,
+    duty: float,
+    activity: float,
+    temp_c: float = 85.0,
+    bti: BtiModel | None = None,
+    hci: HciModel | None = None,
+) -> float:
+    """Total ΔVth from BTI + HCI over a mission profile."""
+    bti = bti or BtiModel()
+    hci = hci or HciModel()
+    seconds = years * SECONDS_PER_YEAR
+    return bti.delta_vth(seconds, duty, temp_c) + hci.delta_vth(seconds, activity)

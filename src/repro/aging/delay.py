@@ -1,0 +1,84 @@
+"""From ΔVth to gate/path delay degradation and lifetime.
+
+The alpha-power-law approximation: gate delay scales as
+``Vdd / (Vdd − Vth)^α``, so a threshold shift ΔVth slows a gate by
+
+    d(ΔVth)/d0 = ((Vdd − Vth0) / (Vdd − Vth0 − ΔVth))^α
+
+Path delay degradation is the sum over its gates (each with its own duty
+profile); a path *fails* when degraded delay exceeds the clock budget —
+giving the years-to-failure metric the mitigation experiments improve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bti import BtiModel, SECONDS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Alpha-power-law delay model for one technology point."""
+
+    vdd: float = 1.0
+    vth0: float = 0.35
+    alpha: float = 1.3
+
+    def slowdown(self, delta_vth: float) -> float:
+        """Multiplicative delay factor (≥ 1) for a threshold shift."""
+        if delta_vth < 0:
+            raise ValueError("delta_vth must be non-negative")
+        headroom = self.vdd - self.vth0
+        degraded = headroom - delta_vth
+        if degraded <= 0.05 * headroom:
+            # device essentially unusable: cap to a large, finite factor
+            degraded = 0.05 * headroom
+        return (headroom / degraded) ** self.alpha
+
+
+@dataclass
+class AgedPath:
+    """A timing path whose gates age with individual duty factors."""
+
+    name: str
+    base_delay: float                  # fresh delay (ns)
+    gate_duties: list[float]           # one duty factor per gate on the path
+    temp_c: float = 85.0
+
+    def degraded_delay(self, years: float, bti: BtiModel | None = None,
+                       delay_model: DelayModel | None = None) -> float:
+        """Path delay after ``years``, assuming equal per-gate base delay."""
+        bti = bti or BtiModel()
+        dm = delay_model or DelayModel()
+        if not self.gate_duties:
+            return self.base_delay
+        per_gate = self.base_delay / len(self.gate_duties)
+        total = 0.0
+        for duty in self.gate_duties:
+            dvth = bti.delta_vth(years * SECONDS_PER_YEAR, duty, self.temp_c)
+            total += per_gate * dm.slowdown(dvth)
+        return total
+
+    def degradation_percent(self, years: float, **kw) -> float:
+        return 100.0 * (self.degraded_delay(years, **kw) / self.base_delay - 1.0)
+
+    def years_to_failure(self, clock_budget: float, max_years: float = 30.0,
+                         step: float = 0.25, **kw) -> float:
+        """First year where the degraded delay exceeds the clock budget."""
+        if self.base_delay > clock_budget:
+            return 0.0
+        years = step
+        while years <= max_years:
+            if self.degraded_delay(years, **kw) > clock_budget:
+                return years
+            years += step
+        return max_years
+
+
+def guard_band_for(path: AgedPath, mission_years: float = 10.0,
+                   bti: BtiModel | None = None,
+                   delay_model: DelayModel | None = None) -> float:
+    """Fractional timing margin needed to survive the mission lifetime."""
+    degraded = path.degraded_delay(mission_years, bti=bti, delay_model=delay_model)
+    return degraded / path.base_delay - 1.0

@@ -1,0 +1,153 @@
+"""Software-based aging mitigation (III.E, [24] and [7]).
+
+Two strategies:
+
+* :func:`balance_profile` — the [24] idea: spend an *overhead budget* of
+  extra memory accesses on cold addresses so the decoder's stress
+  flattens.  The mitigation quality metric is the drop in duty imbalance
+  and in worst-wordline slowdown, at a given overhead.
+* :class:`RejuvenationSearch` — the [7] idea (evolutionary generation of
+  rejuvenating assembler programs), reduced to its optimization core: a
+  seeded hill-climber over candidate dummy-access sequences minimizing
+  the aged decoder's worst slowdown under a fixed instruction budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from .bti import BtiModel
+from .decoder_aging import DecoderAgingReport, age_decoder
+from .delay import DelayModel
+
+
+def balance_profile(
+    profile: Mapping[int, float],
+    overhead: float = 0.2,
+    steps: int = 40,
+) -> dict[int, float]:
+    """Spend ``overhead`` worth of dummy accesses to balance the decoder.
+
+    [24]'s software mitigation chooses *which* extra addresses to touch:
+    what ages the decoder is the per-address-bit duty (the predecoder
+    lines), so the budget is allocated greedily — each chunk goes to the
+    address that best pulls every bit line toward 50 % duty (accessing
+    the bitwise complement of a hot address is the canonical move).
+    Returns the re-normalized profile.
+    """
+    if overhead < 0:
+        raise ValueError("overhead must be non-negative")
+    base = dict(profile)
+    total = sum(base.values()) or 1.0
+    filled = {a: w / total for a, w in base.items()}
+    if overhead == 0 or not filled:
+        return filled
+    addresses = sorted(filled)
+    address_bits = max(1, max(addresses).bit_length())
+    chunk = overhead / steps
+
+    def bit_imbalance(prof: Mapping[int, float]) -> float:
+        mass = sum(prof.values())
+        score = 0.0
+        for bit in range(address_bits):
+            high = sum(w for a, w in prof.items() if (a >> bit) & 1)
+            score += abs(high / mass - 0.5)
+        return score
+
+    for _ in range(steps):
+        best_addr = min(
+            addresses,
+            key=lambda a: bit_imbalance(
+                {**filled, a: filled.get(a, 0.0) + chunk}),
+        )
+        filled[best_addr] = filled.get(best_addr, 0.0) + chunk
+    total = sum(filled.values())
+    return {a: w / total for a, w in filled.items()}
+
+
+@dataclass
+class MitigationOutcome:
+    """Before/after aging comparison at a given software overhead."""
+
+    overhead: float
+    before: DecoderAgingReport
+    after: DecoderAgingReport
+
+    @property
+    def slowdown_reduction(self) -> float:
+        """Fraction of the aging-induced slowdown removed by mitigation."""
+        aged_before = self.before.max_slowdown - 1.0
+        aged_after = self.after.max_slowdown - 1.0
+        if aged_before <= 0:
+            return 0.0
+        return 1.0 - aged_after / aged_before
+
+    @property
+    def imbalance_reduction(self) -> float:
+        imb_before = self.before.duty_imbalance()
+        if imb_before == 0:
+            return 0.0
+        return 1.0 - self.after.duty_imbalance() / imb_before
+
+
+def mitigate_decoder(
+    address_bits: int,
+    profile: Mapping[int, float],
+    overhead: float = 0.2,
+    years: float = 10.0,
+    temp_c: float = 85.0,
+) -> MitigationOutcome:
+    """Run the full before/after experiment for one overhead point."""
+    before = age_decoder(address_bits, profile, years, temp_c)
+    balanced = balance_profile(profile, overhead)
+    after = age_decoder(address_bits, balanced, years, temp_c)
+    return MitigationOutcome(overhead, before, after)
+
+
+class RejuvenationSearch:
+    """Hill-climbing search for a rejuvenating access sequence ([7]-lite).
+
+    State: a multiset of dummy addresses of size ``budget``.  Fitness:
+    the aged decoder's max slowdown when the dummy accesses are blended
+    into the workload profile.  Mutation: move one dummy access to a
+    random other address.  Deterministic per seed.
+    """
+
+    def __init__(self, address_bits: int, profile: Mapping[int, float],
+                 budget: int = 16, years: float = 10.0, temp_c: float = 85.0,
+                 seed: int = 0) -> None:
+        self.address_bits = address_bits
+        self.profile = dict(profile)
+        self.budget = budget
+        self.years = years
+        self.temp_c = temp_c
+        self.rng = random.Random(seed)
+        self.n_addresses = 1 << address_bits
+        self.bti = BtiModel()
+        self.delay_model = DelayModel()
+
+    def _fitness(self, dummies: list[int]) -> float:
+        blended = dict(self.profile)
+        weight = sum(self.profile.values()) / max(1, len(self.profile))
+        for addr in dummies:
+            blended[addr] = blended.get(addr, 0.0) + weight
+        report = age_decoder(self.address_bits, blended, self.years,
+                             self.temp_c, self.bti, self.delay_model)
+        return report.max_slowdown
+
+    def run(self, iterations: int = 40) -> tuple[list[int], float, float]:
+        """Returns (best dummy sequence, initial fitness, best fitness)."""
+        dummies = [self.rng.randrange(self.n_addresses) for _ in range(self.budget)]
+        initial = self._fitness([])
+        best = self._fitness(dummies)
+        for _ in range(iterations):
+            candidate = list(dummies)
+            candidate[self.rng.randrange(len(candidate))] = \
+                self.rng.randrange(self.n_addresses)
+            fitness = self._fitness(candidate)
+            if fitness <= best:
+                best = fitness
+                dummies = candidate
+        return dummies, initial, best

@@ -1,0 +1,42 @@
+"""Test generation: PODEM, random TPG, compaction, untestability, SBST."""
+
+from .compaction import compact_greedy, compact_reverse
+from .podem import Podem, PodemResult, generate_tests, podem
+from .random_tpg import RandomTpgResult, random_tpg
+from .sbst import (
+    SbstCpuReport,
+    cpu_fault_universe,
+    functionally_safe_faults,
+    run_cpu_sbst,
+    sbst_programs,
+)
+from .untestable import (
+    UntestableReport,
+    classify_structural,
+    constant_nets,
+    functionally_untestable_delta,
+    identify_untestable,
+    unobservable_nets,
+)
+
+__all__ = [
+    "Podem",
+    "PodemResult",
+    "RandomTpgResult",
+    "SbstCpuReport",
+    "UntestableReport",
+    "cpu_fault_universe",
+    "functionally_safe_faults",
+    "run_cpu_sbst",
+    "sbst_programs",
+    "classify_structural",
+    "compact_greedy",
+    "compact_reverse",
+    "constant_nets",
+    "functionally_untestable_delta",
+    "generate_tests",
+    "identify_untestable",
+    "podem",
+    "random_tpg",
+    "unobservable_nets",
+]

@@ -1,0 +1,311 @@
+"""PODEM test generation (Goel 1981) for single stuck-at faults.
+
+Works on the combinational view of a circuit: flop Qs are pseudo primary
+inputs and flop Ds pseudo primary outputs (the full-scan assumption).
+The decision procedure is complete — when the decision tree is exhausted
+without a backtrack-limit abort, the fault is *proved* untestable, which
+is exactly the property the untestable-fault identification experiments
+(GPGPU [46], RISC processors [23]/[33]) rely on.
+
+Implementation notes: instead of a 5-valued algebra we run two 3-valued
+simulations (good machine and faulty machine); a net carries a D when
+both machines are binary and differ.  This keeps the simulation kernel
+shared with the rest of the toolkit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..circuit.netlist import Circuit, Gate, GateType
+from ..circuit.scoap import compute_scoap
+from ..faults.models import StuckAtFault
+from ..sim.logic import X, eval_gate_3v
+
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM run."""
+
+    status: str  # "detected" | "untestable" | "aborted"
+    pattern: dict[str, int] | None = None
+    backtracks: int = 0
+
+    @property
+    def detected(self) -> bool:
+        return self.status == "detected"
+
+
+@dataclass
+class _State:
+    """Mutable search state shared by the PODEM helpers."""
+
+    good: dict[str, int | None] = field(default_factory=dict)
+    bad: dict[str, int | None] = field(default_factory=dict)
+
+
+class Podem:
+    """Reusable PODEM engine for one circuit (caches structure/SCOAP)."""
+
+    def __init__(self, circuit: Circuit, backtrack_limit: int = 20_000,
+                 constraints: Mapping[str, int] | None = None) -> None:
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self.constraints = dict(constraints or {})
+        self.pseudo_inputs = list(circuit.inputs) + list(circuit.flops)
+        self.observables = list(circuit.outputs) + [
+            flop.d for flop in circuit.flops.values()
+        ]
+        self.order = circuit.topo_order()
+        self.fanout = circuit.fanout_map()
+        scoap = compute_scoap(circuit)
+        self.cc0 = {net: scoap[net].cc0 for net in scoap}
+        self.cc1 = {net: scoap[net].cc1 for net in scoap}
+
+    # ------------------------------------------------------------------
+    # simulation of good + faulty machines under a PI assignment
+    # ------------------------------------------------------------------
+    def _simulate(self, fault: StuckAtFault, assign: Mapping[str, int]) -> _State:
+        st = _State()
+        line = fault.line
+        for net in self.pseudo_inputs:
+            val = assign.get(net, X)
+            st.good[net] = val
+            st.bad[net] = val
+        if line.is_stem and line.net in st.bad:
+            st.bad[line.net] = fault.value
+        for gate in self.order:
+            st.good[gate.output] = eval_gate_3v(gate, st.good)
+            st.bad[gate.output] = self._eval_bad(gate, st.bad, fault)
+        if line.is_stem and line.net in self.circuit.gates:
+            pass  # already forced inside _eval_bad
+        return st
+
+    def _eval_bad(self, gate: Gate, bad: dict[str, int | None],
+                  fault: StuckAtFault) -> int | None:
+        line = fault.line
+        if line.is_stem:
+            if gate.output == line.net:
+                return fault.value
+            return eval_gate_3v(gate, bad)
+        if gate.output == line.sink:
+            shadow = dict(bad)
+            shadow[line.net] = fault.value
+            return eval_gate_3v(gate, shadow)
+        return eval_gate_3v(gate, bad)
+
+    # ------------------------------------------------------------------
+    def _fault_effect_at(self, st: _State, net: str) -> bool:
+        g, b = st.good.get(net, X), st.bad.get(net, X)
+        return g is not X and b is not X and g != b
+
+    def _detected(self, st: _State, fault: StuckAtFault) -> bool:
+        line = fault.line
+        if not line.is_stem and line.sink in self.circuit.flops:
+            # a branch into a flop D is observed the moment it is activated:
+            # the flop captures the forced value instead of the good one
+            good = st.good.get(line.net, X)
+            return good is not X and good != fault.value
+        return any(self._fault_effect_at(st, net) for net in self.observables)
+
+    def _d_frontier(self, st: _State, fault: StuckAtFault) -> list[Gate]:
+        frontier = []
+        line = fault.line
+        activated = (st.good.get(line.net, X) is not X
+                     and st.good.get(line.net, X) != fault.value)
+        for gate in self.order:
+            good = st.good.get(gate.output, X)
+            bad = st.bad.get(gate.output, X)
+            if good is not X and bad is not X:
+                continue  # composite value already resolved at this gate
+            if (activated and not line.is_stem and gate.output == line.sink):
+                # the sink of an activated branch fault carries the nascent D
+                frontier.append(gate)
+                continue
+            for src in gate.inputs:
+                if self._fault_effect_at(st, src):
+                    frontier.append(gate)
+                    break
+        return frontier
+
+    def _x_path_exists(self, st: _State, frontier: list[Gate]) -> bool:
+        """Some D-frontier gate reaches an observable through X-valued nets."""
+        obs = set(self.observables)
+        x_nets = {
+            net for net in st.good
+            if st.good[net] is X or st.bad[net] is X
+        }
+        seen: set[str] = set()
+        stack = [g.output for g in frontier]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            if net in obs:
+                return True
+            # flop D nets are observables; also PO check above
+            for dst in self.fanout.get(net, ()):
+                if dst in self.circuit.flops:
+                    if self.circuit.flops[dst].d == net:
+                        return True
+                    continue
+                if dst in x_nets or dst in obs:
+                    stack.append(dst)
+        # direct case: frontier gate output *is* a flop D / PO handled above
+        return False
+
+    # ------------------------------------------------------------------
+    def _objective(self, fault: StuckAtFault, st: _State) -> tuple[str, int] | None:
+        line = fault.line
+        site_good = st.good.get(line.net, X)
+        if site_good is X:
+            return line.net, 1 - fault.value  # activate the fault
+        if site_good == fault.value:
+            return None  # activation impossible under current assignment
+        frontier = self._d_frontier(st, fault)
+        if not frontier:
+            return None
+        gate = min(frontier, key=lambda g: min(self.cc0.get(i, 0) + self.cc1.get(i, 0)
+                                               for i in g.inputs))
+        ctrl = _CONTROLLING.get(gate.gtype)
+        for src in gate.inputs:
+            if st.good.get(src, X) is X:
+                if ctrl is not None:
+                    return src, 1 - ctrl
+                return src, 0  # XOR/XNOR: any binary value enables propagation
+        return None
+
+    def _backtrace(self, net: str, value: int, st: _State) -> tuple[str, int] | None:
+        """Walk the objective back to an unassigned pseudo-PI."""
+        visited = 0
+        while True:
+            visited += 1
+            if visited > len(self.circuit.gates) + len(self.pseudo_inputs) + 4:
+                return None  # safety net against pathological structures
+            if net in self.pseudo_inputs:
+                if net in self.constraints or st.good.get(net, X) is not X:
+                    return None
+                return net, value
+            gate = self.circuit.gates.get(net)
+            if gate is None:
+                return None
+            gtype = gate.gtype
+            if gtype in (GateType.CONST0, GateType.CONST1):
+                return None
+            if gtype is GateType.BUF:
+                net = gate.inputs[0]
+                continue
+            if gtype is GateType.NOT:
+                net, value = gate.inputs[0], 1 - value
+                continue
+            inverted = gtype in (GateType.NAND, GateType.NOR)
+            body_value = 1 - value if inverted else value
+            xins = [i for i in gate.inputs if st.good.get(i, X) is X]
+            if not xins:
+                return None
+            if gtype in (GateType.XOR, GateType.XNOR):
+                known = [st.good[i] for i in gate.inputs if st.good.get(i, X) is not X]
+                parity = sum(known) & 1
+                target = body_value ^ parity if gtype is GateType.XOR else \
+                    (1 - body_value) ^ parity
+                # with several X inputs set the easiest one toward `target`
+                net, value = xins[0], target if len(xins) == 1 else 0
+                continue
+            ctrl = _CONTROLLING[gtype] if gtype in _CONTROLLING else None
+            if ctrl is None:  # pragma: no cover - exhaustive gtype handling above
+                return None
+            if body_value == ctrl:
+                # one controlling input suffices: pick the cheapest
+                cost = self.cc0 if ctrl == 0 else self.cc1
+                net, value = min(xins, key=lambda i: cost.get(i, 0)), ctrl
+            else:
+                # all inputs must be non-controlling: pick the hardest first
+                cost = self.cc1 if ctrl == 0 else self.cc0
+                net, value = max(xins, key=lambda i: cost.get(i, 0)), 1 - ctrl
+            continue
+
+    # ------------------------------------------------------------------
+    def run(self, fault: StuckAtFault) -> PodemResult:
+        """Generate a test for ``fault`` or prove it untestable."""
+        assign: dict[str, int] = dict(self.constraints)
+        decisions: list[tuple[str, int, bool]] = []  # (pi, value, flipped?)
+        backtracks = 0
+
+        while True:
+            st = self._simulate(fault, assign)
+            if self._detected(st, fault):
+                pattern = {net: assign.get(net, 0) for net in self.pseudo_inputs}
+                return PodemResult("detected", pattern, backtracks)
+
+            objective = self._objective(fault, st)
+            advance = None
+            if objective is not None:
+                frontier_ok = True
+                site_good = st.good.get(fault.line.net, X)
+                if site_good is not X and site_good != fault.value:
+                    frontier = self._d_frontier(st, fault)
+                    frontier_ok = bool(frontier) and self._x_path_exists(st, frontier)
+                if frontier_ok:
+                    advance = self._backtrace(objective[0], objective[1], st)
+
+            if advance is not None:
+                pi, value = advance
+                assign[pi] = value
+                decisions.append((pi, value, False))
+                continue
+
+            # dead end: chronological backtracking
+            while decisions:
+                pi, value, flipped = decisions.pop()
+                del assign[pi]
+                if not flipped:
+                    backtracks += 1
+                    if backtracks > self.backtrack_limit:
+                        return PodemResult("aborted", None, backtracks)
+                    assign[pi] = 1 - value
+                    decisions.append((pi, 1 - value, True))
+                    break
+            else:
+                return PodemResult("untestable", None, backtracks)
+
+
+def podem(circuit: Circuit, fault: StuckAtFault,
+          backtrack_limit: int = 20_000,
+          constraints: Mapping[str, int] | None = None) -> PodemResult:
+    """One-shot PODEM convenience wrapper."""
+    return Podem(circuit, backtrack_limit, constraints).run(fault)
+
+
+def generate_tests(
+    circuit: Circuit,
+    faults: list[StuckAtFault],
+    backtrack_limit: int = 20_000,
+    constraints: Mapping[str, int] | None = None,
+) -> tuple[list[dict[str, int]], list[StuckAtFault], list[StuckAtFault]]:
+    """Run PODEM for every fault.
+
+    Returns ``(patterns, untestable, aborted)``.  Patterns are not fault
+    simulated here — callers typically fault-simulate + compact them.
+    """
+    engine = Podem(circuit, backtrack_limit, constraints)
+    patterns: list[dict[str, int]] = []
+    untestable: list[StuckAtFault] = []
+    aborted: list[StuckAtFault] = []
+    for fault in faults:
+        result = engine.run(fault)
+        if result.status == "detected" and result.pattern is not None:
+            patterns.append(result.pattern)
+        elif result.status == "untestable":
+            untestable.append(fault)
+        else:
+            aborted.append(fault)
+    return patterns, untestable, aborted

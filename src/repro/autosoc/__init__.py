@@ -1,0 +1,62 @@
+"""The AutoSoC open-source automotive benchmark (paper Section IV.B)."""
+
+from .apps import APPLICATIONS, Application
+from .cpu import UNITS, Cpu, UnitFault
+from .fi import (
+    CORRECTED_ECC,
+    DETECTED_ECC,
+    DETECTED_LOCKSTEP,
+    HANG,
+    MASKED,
+    OUTCOMES,
+    SDC,
+    SocCampaignResult,
+    SocInjection,
+    compare_configurations,
+    make_injections,
+    run_campaign,
+    run_injection,
+)
+from .isa import (
+    AsmError,
+    Instruction,
+    OPCODES,
+    assemble,
+    decode,
+    disassemble,
+    encode,
+)
+from .soc import AutoSoC, Bus, CanFrame, RunResult, SocConfig
+
+__all__ = [
+    "APPLICATIONS",
+    "Application",
+    "AsmError",
+    "AutoSoC",
+    "Bus",
+    "CORRECTED_ECC",
+    "CanFrame",
+    "Cpu",
+    "DETECTED_ECC",
+    "DETECTED_LOCKSTEP",
+    "HANG",
+    "Instruction",
+    "MASKED",
+    "OPCODES",
+    "OUTCOMES",
+    "RunResult",
+    "SDC",
+    "SocCampaignResult",
+    "SocConfig",
+    "SocInjection",
+    "UNITS",
+    "UnitFault",
+    "assemble",
+    "compare_configurations",
+    "decode",
+    "disassemble",
+    "encode",
+    "make_injections",
+    "run_campaign",
+    "run_injection",
+]

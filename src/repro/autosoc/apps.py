@@ -1,0 +1,203 @@
+"""Representative AutoSoC applications (paper IV.B: "a few representative
+applications").
+
+Each application is OR1K-lite assembly plus an oracle validating the run
+result, so fault-injection campaigns can classify silent data corruption
+without per-app ad-hoc checks.  The set covers the automotive-flavoured
+workloads the benchmark suite motivates: a control loop (cruise
+control), bus communication (CAN frames), data integrity (CRC), and a
+compute kernel (matrix multiply).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+from .isa import assemble
+from .soc import RAM_BASE, RunResult
+
+
+@dataclass(frozen=True)
+class Application:
+    """A program, its entry state and its correctness oracle."""
+
+    name: str
+    source: str
+    oracle: Callable[[RunResult], bool]
+    max_cycles: int = 30_000
+
+    def program(self) -> list[int]:
+        return assemble(self.source)
+
+
+# ----------------------------------------------------------------------
+# fibonacci: writes fib(0..9) to RAM[0..9]
+# ----------------------------------------------------------------------
+_FIB_SRC = f"""
+    addi r1, r0, 0          # fib(i-2)
+    addi r2, r0, 1          # fib(i-1)
+    addi r3, r0, 0          # i
+    addi r4, r0, 10         # limit
+    movhi r10, 0x0000
+    ori  r10, r10, 0x2000   # RAM base
+loop:
+    sw   r1, 0(r10)
+    add  r5, r1, r2
+    add  r1, r0, r2
+    add  r2, r0, r5
+    addi r10, r10, 1
+    addi r3, r3, 1
+    blt  r3, r4, loop
+    halt
+"""
+
+
+def _fib_oracle(result: RunResult) -> bool:
+    expected = [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+    return result.halted and result.ram[:10] == expected
+
+
+# ----------------------------------------------------------------------
+# cruise control: integer P-controller tracking a setpoint profile
+# ----------------------------------------------------------------------
+_CRUISE_SRC = """
+    addi r1, r0, 50         # current speed
+    addi r2, r0, 90         # setpoint
+    addi r3, r0, 0          # step counter
+    addi r4, r0, 24         # steps
+    movhi r10, 0x0000
+    ori  r10, r10, 0x2000
+loop:
+    sub  r5, r2, r1         # error = setpoint - speed
+    sra  r6, r5, r0         # throttle = error (P gain 1) -- sra by 0
+    addi r7, r0, 2
+    sra  r6, r5, r7         # throttle = error >> 2
+    add  r1, r1, r6         # speed += throttle
+    sw   r1, 0(r10)
+    addi r10, r10, 1
+    addi r3, r3, 1
+    blt  r3, r4, loop
+    sw   r1, 0(r10)         # final speed
+    halt
+"""
+
+
+def _cruise_expected() -> list[int]:
+    speed, setpoint = 50, 90
+    trace = []
+    for _ in range(24):
+        error = setpoint - speed
+        speed += error >> 2
+        trace.append(speed)
+    return trace + [speed]
+
+
+def _cruise_oracle(result: RunResult) -> bool:
+    expected = _cruise_expected()
+    return result.halted and result.ram[:len(expected)] == expected
+
+
+# ----------------------------------------------------------------------
+# CAN telemetry: send two frames of sensor words; oracle checks CRCs
+# ----------------------------------------------------------------------
+_CAN_SRC = """
+    movhi r10, 0x0000
+    ori  r10, r10, 0xF020   # CAN_DATA
+    addi r1, r0, 257        # sensor words
+    addi r2, r0, 514
+    sw   r1, 0(r10)
+    sw   r2, 0(r10)
+    addi r3, r0, 1
+    sw   r3, 1(r10)         # SEND
+    addi r1, r0, 1028
+    sw   r1, 0(r10)
+    sw   r3, 1(r10)         # SEND second frame
+    halt
+"""
+
+
+def _can_oracle(result: RunResult) -> bool:
+    frame1 = b"".join(w.to_bytes(4, "little") for w in (257, 514))
+    frame2 = (1028).to_bytes(4, "little")
+    expected = [zlib.crc32(frame1) & 0xFFFFFFFF, zlib.crc32(frame2) & 0xFFFFFFFF]
+    return result.halted and result.can_crcs == expected
+
+
+# ----------------------------------------------------------------------
+# 3x3 matrix multiply: C = A*B with constant A, B; result to RAM[32..40]
+# ----------------------------------------------------------------------
+_MATMUL_SRC = """
+    movhi r10, 0x0000
+    ori  r10, r10, 0x2000   # A at RAM[0], B at RAM[9], C at RAM[32]
+    # --- initialize A = 1..9, B = 9..1
+    addi r1, r0, 0          # k
+    addi r2, r0, 9
+initA:
+    addi r3, r1, 1
+    add  r4, r10, r1
+    sw   r3, 0(r4)
+    addi r1, r1, 1
+    blt  r1, r2, initA
+    addi r1, r0, 0
+initB:
+    addi r3, r0, 9
+    sub  r3, r3, r1
+    add  r4, r10, r1
+    sw   r3, 9(r4)
+    addi r1, r1, 1
+    blt  r1, r2, initB
+    # --- C[i][j] = sum_k A[i][k] * B[k][j]
+    addi r1, r0, 0          # i
+rowloop:
+    addi r2, r0, 0          # j
+colloop:
+    addi r5, r0, 0          # acc
+    addi r3, r0, 0          # k
+kloop:
+    addi r6, r0, 3
+    mul  r7, r1, r6         # i*3
+    add  r7, r7, r3         # i*3+k
+    add  r7, r10, r7
+    lw   r8, 0(r7)          # A[i][k]
+    mul  r7, r3, r6         # k*3
+    add  r7, r7, r2
+    add  r7, r10, r7
+    lw   r9, 9(r7)          # B[k][j]
+    mul  r8, r8, r9
+    add  r5, r5, r8
+    addi r3, r3, 1
+    addi r6, r0, 3
+    blt  r3, r6, kloop
+    mul  r7, r1, r6
+    add  r7, r7, r2
+    add  r7, r10, r7
+    sw   r5, 32(r7)         # C[i][j]
+    addi r2, r2, 1
+    addi r6, r0, 3
+    blt  r2, r6, colloop
+    addi r1, r1, 1
+    blt  r1, r6, rowloop
+    halt
+"""
+
+
+def _matmul_expected() -> list[int]:
+    a = [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+    b = [[9, 8, 7], [6, 5, 4], [3, 2, 1]]
+    c = [[sum(a[i][k] * b[k][j] for k in range(3)) for j in range(3)]
+         for i in range(3)]
+    return [c[i][j] for i in range(3) for j in range(3)]
+
+
+def _matmul_oracle(result: RunResult) -> bool:
+    return result.halted and result.ram[32:41] == _matmul_expected()
+
+
+APPLICATIONS: dict[str, Application] = {
+    "fibonacci": Application("fibonacci", _FIB_SRC, _fib_oracle),
+    "cruise_control": Application("cruise_control", _CRUISE_SRC, _cruise_oracle),
+    "can_telemetry": Application("can_telemetry", _CAN_SRC, _can_oracle),
+    "matmul": Application("matmul", _MATMUL_SRC, _matmul_oracle),
+}

@@ -1,0 +1,228 @@
+"""OR1K-lite CPU micro-architectural simulator with per-unit fault hooks.
+
+The CPU is organized into named functional units (fetch, decode,
+regfile, alu, lsu, branch) so faults can be injected where the RESCUE
+test-generation work targets them: a stuck bit in the register file, a
+transient flip on the ALU result, a decoder corrupting its opcode.  The
+instruction-class trace each run produces doubles as input for the
+program-flow anomaly detector (``repro.security.detector``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .isa import Instruction, WORD_MASK, decode
+
+UNITS = ("fetch", "decode", "regfile", "alu", "lsu", "branch")
+
+
+@dataclass(frozen=True)
+class UnitFault:
+    """A fault bound to one functional unit.
+
+    ``kind`` ∈ {"transient", "stuck0", "stuck1"}; ``bit`` selects the
+    corrupted data bit; transients apply only in ``[from_cycle,
+    to_cycle)``, stuck faults always.
+    """
+
+    unit: str
+    kind: str
+    bit: int
+    from_cycle: int = 0
+    to_cycle: int = 1 << 62
+
+    def __post_init__(self) -> None:
+        if self.unit not in UNITS:
+            raise ValueError(f"unknown unit {self.unit!r}; known {UNITS}")
+        if self.kind not in ("transient", "stuck0", "stuck1"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def applies(self, cycle: int) -> bool:
+        if self.kind == "transient":
+            return self.from_cycle <= cycle < self.to_cycle
+        return True
+
+    def corrupt(self, value: int) -> int:
+        if self.kind == "transient":
+            return value ^ (1 << self.bit)
+        if self.kind == "stuck0":
+            return value & ~(1 << self.bit)
+        return value | (1 << self.bit)
+
+
+class Halted(Exception):
+    """Raised internally when the CPU executes ``halt``."""
+
+
+@dataclass
+class Cpu:
+    """A single OR1K-lite core attached to a bus-like memory object.
+
+    ``bus`` must provide ``load_word(addr) -> int`` and
+    ``store_word(addr, value)``.
+    """
+
+    bus: object
+    regs: list[int] = field(default_factory=lambda: [0] * 32)
+    pc: int = 0
+    cycle: int = 0
+    halted: bool = False
+    faults: list[UnitFault] = field(default_factory=list)
+    unit_usage: dict[str, int] = field(default_factory=lambda: {u: 0 for u in UNITS})
+    trace: list[str] = field(default_factory=list)
+
+    def inject(self, fault: UnitFault) -> None:
+        self.faults.append(fault)
+
+    # ------------------------------------------------------------------
+    def _unit(self, unit: str, value: int) -> int:
+        """Pass a value through a unit, applying any active faults."""
+        self.unit_usage[unit] += 1
+        for fault in self.faults:
+            if fault.unit == unit and fault.applies(self.cycle):
+                value = fault.corrupt(value)
+        return value & WORD_MASK
+
+    def _read_reg(self, idx: int) -> int:
+        if idx == 0:
+            return 0
+        return self._unit("regfile", self.regs[idx])
+
+    def _write_reg(self, idx: int, value: int) -> None:
+        if idx != 0:
+            self.regs[idx] = self._unit("regfile", value & WORD_MASK)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            return
+        word = self.bus.load_word(self.pc)
+        word = self._unit("fetch", word)
+        ins = self._decode(word)
+        self.trace.append(ins.clazz)
+        self.cycle += 1
+        next_pc = self.pc + 1
+        try:
+            next_pc = self._execute(ins, next_pc)
+        except Halted:
+            self.halted = True
+            return
+        self.pc = next_pc & WORD_MASK
+
+    def _decode(self, word: int) -> Instruction:
+        word = self._unit("decode", word)
+        try:
+            return decode(word)
+        except Exception:
+            return Instruction("nop")  # corrupted opcode behaves as a bubble
+
+    def _execute(self, ins: Instruction, next_pc: int) -> int:
+        op = ins.op
+        if op == "halt":
+            raise Halted
+        if op == "nop":
+            return next_pc
+        if op in ("add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+                  "mul", "sltu"):
+            a, b = self._read_reg(ins.ra), self._read_reg(ins.rb)
+            self._write_reg(ins.rd, self._unit("alu", _alu(op, a, b)))
+            return next_pc
+        if op in ("addi", "andi", "ori", "xori", "slli", "srli"):
+            a = self._read_reg(ins.ra)
+            imm = ins.imm & WORD_MASK if op != "addi" else ins.imm
+            self._write_reg(ins.rd, self._unit("alu", _alu_imm(op, a, ins.imm)))
+            del imm
+            return next_pc
+        if op == "movhi":
+            self._write_reg(ins.rd, self._unit("alu", (ins.imm & 0xFFFF) << 16))
+            return next_pc
+        if op == "lw":
+            addr = (self._read_reg(ins.ra) + ins.imm) & WORD_MASK
+            addr = self._unit("lsu", addr)
+            self._write_reg(ins.rd, self.bus.load_word(addr))
+            return next_pc
+        if op == "sw":
+            addr = (self._read_reg(ins.ra) + ins.imm) & WORD_MASK
+            addr = self._unit("lsu", addr)
+            self.bus.store_word(addr, self._read_reg(ins.rd))
+            return next_pc
+        if op in ("beq", "bne", "blt", "bge"):
+            a, b = self._read_reg(ins.ra), self._read_reg(ins.rb)
+            taken = _branch_taken(op, a, b)
+            decision = self._unit("branch", 1 if taken else 0)
+            if decision & 1:
+                return self.pc + 1 + ins.imm
+            return next_pc
+        if op == "j":
+            return self._unit("branch", ins.target)
+        if op == "jal":
+            self._write_reg(31, next_pc)
+            return self._unit("branch", ins.target)
+        if op == "jr":
+            return self._unit("branch", self._read_reg(ins.ra))
+        raise ValueError(f"unhandled op {op!r}")  # pragma: no cover
+
+    def run(self, max_cycles: int = 100_000) -> int:
+        """Run until halt or budget exhaustion; returns cycles executed."""
+        start = self.cycle
+        while not self.halted and self.cycle - start < max_cycles:
+            self.step()
+        return self.cycle - start
+
+
+def _alu(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "sll":
+        return a << (b & 31)
+    if op == "srl":
+        return (a & WORD_MASK) >> (b & 31)
+    if op == "sra":
+        return _signed(a) >> (b & 31)
+    if op == "mul":
+        return a * b
+    if op == "sltu":
+        return 1 if (a & WORD_MASK) < (b & WORD_MASK) else 0
+    raise ValueError(op)  # pragma: no cover
+
+
+def _alu_imm(op: str, a: int, imm: int) -> int:
+    if op == "addi":
+        return a + imm
+    if op == "andi":
+        return a & (imm & 0xFFFF)
+    if op == "ori":
+        return a | (imm & 0xFFFF)
+    if op == "xori":
+        return a ^ (imm & 0xFFFF)
+    if op == "slli":
+        return a << (imm & 31)
+    if op == "srli":
+        return (a & WORD_MASK) >> (imm & 31)
+    raise ValueError(op)  # pragma: no cover
+
+
+def _branch_taken(op: str, a: int, b: int) -> bool:
+    if op == "beq":
+        return a == b
+    if op == "bne":
+        return a != b
+    if op == "blt":
+        return _signed(a) < _signed(b)
+    return _signed(a) >= _signed(b)
+
+
+def _signed(x: int) -> int:
+    x &= WORD_MASK
+    return x - 0x100000000 if x & 0x80000000 else x

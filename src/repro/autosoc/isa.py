@@ -1,0 +1,238 @@
+"""OR1K-lite: the AutoSoC CPU instruction set (paper IV.B).
+
+A 32-bit RISC ISA modelled on the OR1200's ORBIS32 subset that the
+AutoSoC benchmark builds on: 32 GPRs (r0 wired to zero), 16-bit signed
+immediates, word-addressed loads/stores, compare-and-branch.
+
+Encoding (32 bits)::
+
+    R-type: [op:6][rd:5][ra:5][rb:5][unused:11]
+    I-type: [op:6][rd:5][ra:5][imm:16]            (imm sign-extended)
+    B-type: [op:6][ra:5][rb:5][offset:16]         (offset in words)
+    J-type: [op:6][target:26]                     (absolute word address)
+
+The assembler accepts labels, comments (`#`/`;`) and decimal/hex
+immediates; ``disassemble`` inverts ``assemble`` exactly (property-
+tested).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+WORD_MASK = 0xFFFFFFFF
+
+R_TYPE = {"add": 0x00, "sub": 0x01, "and": 0x02, "or": 0x03, "xor": 0x04,
+          "sll": 0x05, "srl": 0x06, "sra": 0x07, "mul": 0x08, "sltu": 0x09}
+I_TYPE = {"addi": 0x10, "andi": 0x11, "ori": 0x12, "xori": 0x13,
+          "slli": 0x14, "srli": 0x15, "movhi": 0x16, "lw": 0x17, "sw": 0x18}
+B_TYPE = {"beq": 0x20, "bne": 0x21, "blt": 0x22, "bge": 0x23}
+J_TYPE = {"j": 0x30, "jal": 0x31}
+MISC = {"jr": 0x32, "nop": 0x3E, "halt": 0x3F}
+
+OPCODES = {**R_TYPE, **I_TYPE, **B_TYPE, **J_TYPE, **MISC}
+_BY_CODE = {code: name for name, code in OPCODES.items()}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction."""
+
+    op: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    target: int = 0
+
+    @property
+    def clazz(self) -> str:
+        """Instruction class (feeds the security detector's trace model)."""
+        if self.op in ("lw",):
+            return "load"
+        if self.op in ("sw",):
+            return "store"
+        if self.op in B_TYPE or self.op in ("j", "jr"):
+            return "branch"
+        if self.op == "jal":
+            return "call"
+        if self.op in ("halt", "nop"):
+            return "ret" if self.op == "halt" else "alu"
+        return "alu"
+
+
+class AsmError(ValueError):
+    """Assembly-time error with line context."""
+
+
+def encode(ins: Instruction) -> int:
+    """Instruction → 32-bit word."""
+    op = OPCODES[ins.op]
+    if ins.op in R_TYPE:
+        return (op << 26) | (ins.rd << 21) | (ins.ra << 16) | (ins.rb << 11)
+    if ins.op in I_TYPE:
+        return (op << 26) | (ins.rd << 21) | (ins.ra << 16) | (ins.imm & 0xFFFF)
+    if ins.op in B_TYPE:
+        return (op << 26) | (ins.ra << 21) | (ins.rb << 16) | (ins.imm & 0xFFFF)
+    if ins.op in J_TYPE:
+        return (op << 26) | (ins.target & 0x3FFFFFF)
+    if ins.op == "jr":
+        return (op << 26) | (ins.ra << 16)
+    return op << 26  # nop / halt
+
+
+def _sext16(value: int) -> int:
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def decode(word: int) -> Instruction:
+    """32-bit word → instruction (raises on unknown opcode)."""
+    op_code = (word >> 26) & 0x3F
+    name = _BY_CODE.get(op_code)
+    if name is None:
+        raise AsmError(f"unknown opcode 0x{op_code:02x}")
+    if name in R_TYPE:
+        return Instruction(name, rd=(word >> 21) & 31, ra=(word >> 16) & 31,
+                           rb=(word >> 11) & 31)
+    if name in I_TYPE:
+        return Instruction(name, rd=(word >> 21) & 31, ra=(word >> 16) & 31,
+                           imm=_sext16(word & 0xFFFF))
+    if name in B_TYPE:
+        return Instruction(name, ra=(word >> 21) & 31, rb=(word >> 16) & 31,
+                           imm=_sext16(word & 0xFFFF))
+    if name in J_TYPE:
+        return Instruction(name, target=word & 0x3FFFFFF)
+    if name == "jr":
+        return Instruction(name, ra=(word >> 16) & 31)
+    return Instruction(name)
+
+
+_REG = r"r(\d+)"
+_IMM = r"(-?(?:0x[0-9a-fA-F]+|\d+))"
+_SYM = r"([A-Za-z_][A-Za-z0-9_]*)"
+
+
+def _reg(tok: str) -> int:
+    m = re.fullmatch(_REG, tok.strip())
+    if not m or not 0 <= int(m.group(1)) <= 31:
+        raise AsmError(f"bad register {tok!r}")
+    return int(m.group(1))
+
+
+def _imm(tok: str, labels: dict[str, int]) -> int:
+    tok = tok.strip()
+    if re.fullmatch(_IMM, tok):
+        return int(tok, 0)
+    if tok in labels:
+        return labels[tok]
+    raise AsmError(f"bad immediate or unknown label {tok!r}")
+
+
+def assemble(source: str, origin: int = 0) -> list[int]:
+    """Two-pass assembler: text → encoded words.
+
+    Branch targets written as labels become *relative word offsets*;
+    jump targets become absolute word addresses.
+    """
+    lines = []
+    for raw in source.splitlines():
+        line = re.split(r"[#;]", raw, 1)[0].strip()
+        if line:
+            lines.append(line)
+
+    # pass 1: label addresses
+    labels: dict[str, int] = {}
+    addr = origin
+    for line in lines:
+        if line.endswith(":"):
+            labels[line[:-1].strip()] = addr
+        else:
+            addr += 1
+
+    # pass 2: encode
+    words: list[int] = []
+    addr = origin
+    for line in lines:
+        if line.endswith(":"):
+            continue
+        parts = line.replace(",", " ").split()
+        op = parts[0].lower()
+        args = parts[1:]
+        try:
+            ins = _parse_one(op, args, labels, addr)
+        except AsmError as exc:
+            raise AsmError(f"{exc} in line {line!r}") from None
+        words.append(encode(ins))
+        addr += 1
+    return words
+
+
+def _parse_one(op: str, args: list[str], labels: dict[str, int],
+               addr: int) -> Instruction:
+    if op in R_TYPE:
+        if len(args) != 3:
+            raise AsmError(f"{op} needs rd, ra, rb")
+        return Instruction(op, rd=_reg(args[0]), ra=_reg(args[1]), rb=_reg(args[2]))
+    if op in ("lw", "sw"):
+        # lw rd, off(ra)
+        if len(args) != 2:
+            raise AsmError(f"{op} needs reg, off(base)")
+        m = re.fullmatch(rf"{_IMM}?\(\s*{_REG}\s*\)", args[1].strip())
+        if not m:
+            raise AsmError(f"bad memory operand {args[1]!r}")
+        offset = int(m.group(1), 0) if m.group(1) else 0
+        return Instruction(op, rd=_reg(args[0]), ra=int(m.group(2)), imm=offset)
+    if op in I_TYPE:  # remaining immediates incl. movhi
+        if len(args) != 3 and op != "movhi":
+            raise AsmError(f"{op} needs rd, ra, imm")
+        if op == "movhi":
+            if len(args) != 2:
+                raise AsmError("movhi needs rd, imm")
+            return Instruction(op, rd=_reg(args[0]), imm=_imm(args[1], labels))
+        return Instruction(op, rd=_reg(args[0]), ra=_reg(args[1]),
+                           imm=_imm(args[2], labels))
+    if op in B_TYPE:
+        if len(args) != 3:
+            raise AsmError(f"{op} needs ra, rb, target")
+        target = args[2].strip()
+        if target in labels:
+            offset = labels[target] - (addr + 1)
+        else:
+            offset = _imm(target, {})
+        return Instruction(op, ra=_reg(args[0]), rb=_reg(args[1]), imm=offset)
+    if op in J_TYPE:
+        if len(args) != 1:
+            raise AsmError(f"{op} needs a target")
+        return Instruction(op, target=_imm(args[0], labels))
+    if op == "jr":
+        if len(args) != 1:
+            raise AsmError("jr needs a register")
+        return Instruction(op, ra=_reg(args[0]))
+    if op in ("nop", "halt"):
+        return Instruction(op)
+    raise AsmError(f"unknown mnemonic {op!r}")
+
+
+def disassemble(words: list[int]) -> list[str]:
+    """Encoded words → canonical text (one line per instruction)."""
+    out = []
+    for word in words:
+        ins = decode(word)
+        if ins.op in R_TYPE:
+            out.append(f"{ins.op} r{ins.rd}, r{ins.ra}, r{ins.rb}")
+        elif ins.op in ("lw", "sw"):
+            out.append(f"{ins.op} r{ins.rd}, {ins.imm}(r{ins.ra})")
+        elif ins.op == "movhi":
+            out.append(f"movhi r{ins.rd}, {ins.imm}")
+        elif ins.op in I_TYPE:
+            out.append(f"{ins.op} r{ins.rd}, r{ins.ra}, {ins.imm}")
+        elif ins.op in B_TYPE:
+            out.append(f"{ins.op} r{ins.ra}, r{ins.rb}, {ins.imm}")
+        elif ins.op in J_TYPE:
+            out.append(f"{ins.op} {ins.target}")
+        elif ins.op == "jr":
+            out.append(f"jr r{ins.ra}")
+        else:
+            out.append(ins.op)
+    return out

@@ -1,0 +1,250 @@
+"""The AutoSoC system-on-chip (paper IV.B).
+
+"A SoC hardware based on the OR1200 CPU and including application-
+specific, memory and peripheral blocks ... available in a number of
+configurations, including different safety mechanisms to increase
+reliability, such as LockStep for the CPU and ECCs for the memories and
+a security block."
+
+Memory map (word addresses)::
+
+    0x0000-0x1FFF   ROM (program)
+    0x2000-0x3FFF   RAM (plain or ECC-protected by configuration)
+    0xF000          UART TX (write: append char)
+    0xF010          TIMER (read: current cycle)
+    0xF020-0xF023   CAN-lite: DATA, SEND, STATUS, last CRC
+    0xF100-0xF10B   AES security block: 4×PT, 4×KEY, GO, 4×CT
+
+Configurations: ``qm`` (no mechanisms), ``lockstep`` (dual core +
+comparator), ``ecc`` (SEC-DED RAM), ``full`` (both).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..crypto.aes import encrypt_block
+from ..ftol.ecc import DecodeStatus, EccMemory
+from .cpu import Cpu, UnitFault
+from .isa import WORD_MASK
+
+ROM_BASE, ROM_SIZE = 0x0000, 0x2000
+RAM_BASE, RAM_SIZE = 0x2000, 0x2000
+UART_TX = 0xF000
+TIMER = 0xF010
+CAN_DATA, CAN_SEND, CAN_STATUS, CAN_CRC = 0xF020, 0xF021, 0xF022, 0xF023
+AES_PT, AES_KEY, AES_GO, AES_CT = 0xF100, 0xF104, 0xF108, 0xF109
+
+
+class SocConfig(str, Enum):
+    QM = "qm"
+    LOCKSTEP = "lockstep"
+    ECC = "ecc"
+    FULL = "full"
+
+    @property
+    def has_lockstep(self) -> bool:
+        return self in (SocConfig.LOCKSTEP, SocConfig.FULL)
+
+    @property
+    def has_ecc(self) -> bool:
+        return self in (SocConfig.ECC, SocConfig.FULL)
+
+
+@dataclass
+class CanFrame:
+    """One transmitted CAN-lite frame with its CRC."""
+
+    payload: list[int]
+    crc: int
+
+
+class Bus:
+    """The SoC interconnect: ROM, RAM (optionally ECC), peripherals."""
+
+    def __init__(self, program: list[int], config: SocConfig,
+                 cycle_source=None) -> None:
+        self.config = config
+        self.rom = list(program) + [0] * (ROM_SIZE - len(program))
+        if config.has_ecc:
+            # four 8-bit ECC banks per 32-bit word
+            self._ecc_banks = [EccMemory(RAM_SIZE, 8) for _ in range(4)]
+            self.ram = None
+        else:
+            self._ecc_banks = None
+            self.ram = [0] * RAM_SIZE
+        self.uart: list[str] = []
+        self.can_buffer: list[int] = []
+        self.can_frames: list[CanFrame] = []
+        self.write_log: list[tuple[int, int]] = []
+        self.aes_pt = [0] * 4
+        self.aes_key = [0] * 4
+        self.aes_ct = [0] * 4
+        self.ecc_events = 0
+        self.ecc_uncorrectable = 0
+        self._cycle_source = cycle_source
+
+    # ------------------------------------------------------------------
+    def load_word(self, addr: int) -> int:
+        addr &= WORD_MASK
+        if ROM_BASE <= addr < ROM_BASE + ROM_SIZE:
+            return self.rom[addr - ROM_BASE]
+        if RAM_BASE <= addr < RAM_BASE + RAM_SIZE:
+            return self._ram_read(addr - RAM_BASE)
+        if addr == TIMER:
+            return self._cycle_source() if self._cycle_source else 0
+        if addr == CAN_STATUS:
+            return len(self.can_frames)
+        if addr == CAN_CRC:
+            return self.can_frames[-1].crc if self.can_frames else 0
+        if AES_CT <= addr < AES_CT + 4:
+            return self.aes_ct[addr - AES_CT]
+        return 0
+
+    def store_word(self, addr: int, value: int) -> None:
+        addr &= WORD_MASK
+        value &= WORD_MASK
+        self.write_log.append((addr, value))
+        if RAM_BASE <= addr < RAM_BASE + RAM_SIZE:
+            self._ram_write(addr - RAM_BASE, value)
+            return
+        if addr == UART_TX:
+            self.uart.append(chr(value & 0xFF))
+            return
+        if addr == CAN_DATA:
+            self.can_buffer.append(value)
+            return
+        if addr == CAN_SEND:
+            payload = list(self.can_buffer)
+            raw = b"".join(w.to_bytes(4, "little") for w in payload)
+            self.can_frames.append(CanFrame(payload, zlib.crc32(raw) & WORD_MASK))
+            self.can_buffer = []
+            return
+        if AES_PT <= addr < AES_PT + 4:
+            self.aes_pt[addr - AES_PT] = value
+            return
+        if AES_KEY <= addr < AES_KEY + 4:
+            self.aes_key[addr - AES_KEY] = value
+            return
+        if addr == AES_GO:
+            pt = b"".join(w.to_bytes(4, "little") for w in self.aes_pt)
+            key = b"".join(w.to_bytes(4, "little") for w in self.aes_key)
+            ct = encrypt_block(pt, key)
+            self.aes_ct = [int.from_bytes(ct[i:i + 4], "little")
+                           for i in range(0, 16, 4)]
+            return
+        # writes to ROM / unmapped space are ignored (bus master error)
+
+    # ------------------------------------------------------------------
+    def _ram_read(self, offset: int) -> int:
+        if self._ecc_banks is None:
+            return self.ram[offset]
+        value = 0
+        for b, bank in enumerate(self._ecc_banks):
+            result = bank.read(offset)
+            if result.status is DecodeStatus.CORRECTED:
+                self.ecc_events += 1
+            elif result.status is DecodeStatus.DETECTED:
+                self.ecc_uncorrectable += 1
+            value |= result.data << (8 * b)
+        return value
+
+    def _ram_write(self, offset: int, value: int) -> None:
+        if self._ecc_banks is None:
+            self.ram[offset] = value
+            return
+        for b, bank in enumerate(self._ecc_banks):
+            bank.write(offset, (value >> (8 * b)) & 0xFF)
+
+    def ram_snapshot(self, start: int = 0, count: int = 64) -> list[int]:
+        """RAM contents for golden-vs-faulty comparison (no ECC side
+        effects are counted: uses a direct decode)."""
+        if self._ecc_banks is None:
+            return list(self.ram[start:start + count])
+        out = []
+        for offset in range(start, start + count):
+            value = 0
+            for b, bank in enumerate(self._ecc_banks):
+                value |= bank.code.decode(bank._store[offset]).data << (8 * b)
+            out.append(value)
+        return out
+
+    def inject_ram_bitflip(self, offset: int, bit: int) -> None:
+        """SEU in RAM: flips one stored bit (data or check bit)."""
+        if self._ecc_banks is None:
+            self.ram[offset] ^= 1 << (bit % 32)
+            return
+        bank = self._ecc_banks[(bit // 8) % 4]
+        bank.inject_bitflips(offset, [bit % bank.code.code_bits])
+
+
+@dataclass
+class RunResult:
+    """Observable outcome of one SoC run."""
+
+    cycles: int
+    halted: bool
+    uart: str
+    ram: list[int]
+    can_crcs: list[int]
+    lockstep_mismatch_cycle: int | None = None
+    ecc_corrections: int = 0
+    ecc_uncorrectable: int = 0
+    trace: list[str] = field(default_factory=list)
+
+
+class AutoSoC:
+    """One AutoSoC instance: CPU(s) + bus in a chosen safety configuration."""
+
+    def __init__(self, program: list[int], config: SocConfig = SocConfig.QM) -> None:
+        self.config = config
+        self.bus = Bus(program, config, cycle_source=lambda: self.main.cycle)
+        self.main = Cpu(self.bus)
+        if config.has_lockstep:
+            # the shadow core executes the same program on a private bus;
+            # the comparator checks architectural state every cycle
+            self.shadow_bus = Bus(program, SocConfig.QM,
+                                  cycle_source=lambda: self.shadow.cycle)
+            self.shadow = Cpu(self.shadow_bus)
+        else:
+            self.shadow = None
+        self.lockstep_mismatch_cycle: int | None = None
+
+    def inject_cpu_fault(self, fault: UnitFault) -> None:
+        """Faults target the main core only (the shadow is the reference)."""
+        self.main.inject(fault)
+
+    def run(self, max_cycles: int = 50_000, ram_words: int = 64) -> RunResult:
+        while not self.main.halted and self.main.cycle < max_cycles:
+            self.main.step()
+            if self.shadow is not None:
+                self.shadow.step()
+                if self.lockstep_mismatch_cycle is None and self._diverged():
+                    self.lockstep_mismatch_cycle = self.main.cycle
+        return RunResult(
+            cycles=self.main.cycle,
+            halted=self.main.halted,
+            uart="".join(self.bus.uart),
+            ram=self.bus.ram_snapshot(0, ram_words),
+            can_crcs=[f.crc for f in self.bus.can_frames],
+            lockstep_mismatch_cycle=self.lockstep_mismatch_cycle,
+            ecc_corrections=self.bus.ecc_events,
+            ecc_uncorrectable=self.bus.ecc_uncorrectable,
+            trace=list(self.main.trace),
+        )
+
+    def _diverged(self) -> bool:
+        """Lockstep comparator: architectural state plus bus transactions.
+
+        Comparing bus writes is what catches LSU faults that corrupt a
+        store address/value without touching any register.
+        """
+        if self.main.pc != self.shadow.pc or self.main.regs != self.shadow.regs:
+            return True
+        main_log = self.bus.write_log
+        shadow_log = self.shadow_bus.write_log
+        if len(main_log) != len(shadow_log):
+            return True
+        return bool(main_log) and main_log[-1] != shadow_log[-1]

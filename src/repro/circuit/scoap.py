@@ -1,0 +1,134 @@
+"""SCOAP testability measures (Goldstein 1979).
+
+Combinational controllability CC0/CC1 (cost of setting a net to 0/1) and
+observability CO (cost of propagating a net to a primary output).  The
+ATPG uses CC for backtrace guidance; the ML failure-rate predictor (E5)
+uses all three as node features; the untestable-fault identifier uses
+``inf`` costs as a structural unreachability signal.
+
+Sequential elements are treated as transparent with a unit penalty
+(a pragmatic simplification adequate for guidance features).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .netlist import Circuit, GateType
+
+INF = math.inf
+
+
+@dataclass(frozen=True)
+class Scoap:
+    """SCOAP triple for one net."""
+
+    cc0: float
+    cc1: float
+    co: float
+
+
+def _gate_controllability(gtype: GateType, ins: list[tuple[float, float]]) -> tuple[float, float]:
+    """(cc0, cc1) of a gate output given (cc0, cc1) of each input."""
+    c0s = [c[0] for c in ins]
+    c1s = [c[1] for c in ins]
+    if gtype is GateType.AND:
+        return min(c0s) + 1, sum(c1s) + 1
+    if gtype is GateType.OR:
+        return sum(c0s) + 1, min(c1s) + 1
+    if gtype is GateType.NAND:
+        return sum(c1s) + 1, min(c0s) + 1
+    if gtype is GateType.NOR:
+        return min(c1s) + 1, sum(c0s) + 1
+    if gtype is GateType.NOT:
+        return c1s[0] + 1, c0s[0] + 1
+    if gtype is GateType.BUF:
+        return c0s[0] + 1, c1s[0] + 1
+    if gtype is GateType.CONST0:
+        return 1.0, INF
+    if gtype is GateType.CONST1:
+        return INF, 1.0
+    if gtype in (GateType.XOR, GateType.XNOR):
+        # cost of producing even/odd parity: cheapest assignment over inputs
+        even, odd = 0.0, INF
+        for c0, c1 in ins:
+            even, odd = min(even + c0, odd + c1), min(even + c1, odd + c0)
+        if gtype is GateType.XOR:
+            return even + 1, odd + 1
+        return odd + 1, even + 1
+    raise ValueError(f"unhandled gate type {gtype}")
+
+
+def compute_scoap(circuit: Circuit) -> dict[str, Scoap]:
+    """Compute SCOAP values for every net in the circuit."""
+    cc: dict[str, tuple[float, float]] = {}
+    for pi in circuit.inputs:
+        cc[pi] = (1.0, 1.0)
+    for q in circuit.flops:
+        cc[q] = (2.0, 2.0)  # one cycle of sequential depth ≈ unit penalty
+    for gate in circuit.topo_order():
+        ins = [cc[i] for i in gate.inputs]
+        cc[gate.output] = _gate_controllability(gate.gtype, ins)
+
+    co: dict[str, float] = {net: INF for net in cc}
+    for po in circuit.outputs:
+        co[po] = 0.0
+    for q, flop in circuit.flops.items():
+        # observing a flop D costs one capture cycle
+        co[flop.d] = min(co.get(flop.d, INF), 1.0)
+
+    for gate in reversed(circuit.topo_order()):
+        out_co = co.get(gate.output, INF)
+        if out_co is INF:
+            continue
+        gtype = gate.gtype
+        for idx, src in enumerate(gate.inputs):
+            others = [cc[i] for j, i in enumerate(gate.inputs) if j != idx]
+            if gtype in (GateType.AND, GateType.NAND):
+                side = sum(c1 for _, c1 in others)
+            elif gtype in (GateType.OR, GateType.NOR):
+                side = sum(c0 for c0, _ in others)
+            elif gtype in (GateType.XOR, GateType.XNOR):
+                side = sum(min(c0, c1) for c0, c1 in others)
+            else:  # NOT / BUF
+                side = 0.0
+            cand = out_co + side + 1
+            if cand < co.get(src, INF):
+                co[src] = cand
+    # second backward pass propagates improved CO through reconvergence
+    for gate in reversed(circuit.topo_order()):
+        out_co = co.get(gate.output, INF)
+        if out_co is INF:
+            continue
+        for idx, src in enumerate(gate.inputs):
+            others = [cc[i] for j, i in enumerate(gate.inputs) if j != idx]
+            if gate.gtype in (GateType.AND, GateType.NAND):
+                side = sum(c1 for _, c1 in others)
+            elif gate.gtype in (GateType.OR, GateType.NOR):
+                side = sum(c0 for c0, _ in others)
+            elif gate.gtype in (GateType.XOR, GateType.XNOR):
+                side = sum(min(c0, c1) for c0, c1 in others)
+            else:
+                side = 0.0
+            cand = out_co + side + 1
+            if cand < co.get(src, INF):
+                co[src] = cand
+
+    return {net: Scoap(cc[net][0], cc[net][1], co.get(net, INF)) for net in cc}
+
+
+def hard_to_test_nets(circuit: Circuit, percentile: float = 0.9) -> list[str]:
+    """Nets whose combined SCOAP cost is above the given percentile.
+
+    Infinite costs (structurally untestable points) always qualify.
+    """
+    values = compute_scoap(circuit)
+    scores = {
+        net: (s.cc0 + s.cc1 + s.co) for net, s in values.items()
+    }
+    finite = sorted(v for v in scores.values() if v is not INF and not math.isinf(v))
+    if not finite:
+        return sorted(scores)
+    cut = finite[min(len(finite) - 1, int(percentile * len(finite)))]
+    return sorted(net for net, v in scores.items() if math.isinf(v) or v >= cut)

@@ -1,0 +1,121 @@
+"""Structural-Verilog subset: emit and parse.
+
+The subset covers exactly what :class:`~repro.circuit.netlist.Circuit`
+can express — primitive gate instances (``and``, ``or``, ``nand``,
+``nor``, ``xor``, ``xnor``, ``not``, ``buf``), D flip-flops written as
+``dff`` instances, and scalar ports.  It exists so the toolkit can
+interchange designs with external flows (and so tests can round-trip
+netlists through a text form), not to be a general Verilog front end.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .netlist import Circuit, GateType
+
+_PRIMITIVES = {
+    GateType.AND: "and",
+    GateType.OR: "or",
+    GateType.NAND: "nand",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+}
+_BY_KEYWORD = {kw: gt for gt, kw in _PRIMITIVES.items()}
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+
+
+def emit_verilog(circuit: Circuit) -> str:
+    """Serialize a circuit as structural Verilog."""
+    lines = [f"module {circuit.name} ("]
+    ports = [f"    input  {pi}" for pi in circuit.inputs]
+    ports += [f"    output {po}" for po in circuit.outputs]
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    wires = [n for n in circuit.nets if n not in circuit.inputs and n not in circuit.outputs]
+    if wires:
+        lines.append("  wire " + ", ".join(wires) + ";")
+    idx = 0
+    for gate in circuit.topo_order():
+        idx += 1
+        if gate.gtype is GateType.CONST0:
+            lines.append(f"  assign {gate.output} = 1'b0;")
+        elif gate.gtype is GateType.CONST1:
+            lines.append(f"  assign {gate.output} = 1'b1;")
+        else:
+            kw = _PRIMITIVES[gate.gtype]
+            args = ", ".join((gate.output,) + gate.inputs)
+            lines.append(f"  {kw} g{idx} ({args});")
+    for flop in circuit.flops.values():
+        idx += 1
+        lines.append(f"  dff #(.INIT(1'b{flop.init})) f{idx} ({flop.q}, {flop.d});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+class VerilogParseError(ValueError):
+    """Raised on input outside the supported structural subset."""
+
+
+def parse_verilog(text: str) -> Circuit:
+    """Parse structural Verilog produced by :func:`emit_verilog`.
+
+    Accepts minor formatting variation (whitespace, comments, port
+    direction keywords inside or outside the port list).
+    """
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+    mod = re.search(rf"module\s+({_IDENT})\s*\((.*?)\)\s*;(.*?)endmodule", text, flags=re.S)
+    if not mod:
+        raise VerilogParseError("no module found")
+    name, portlist, body = mod.group(1), mod.group(2), mod.group(3)
+
+    circuit = Circuit(name)
+    outputs: list[str] = []
+    for decl in portlist.split(","):
+        decl = decl.strip()
+        if not decl:
+            continue
+        m = re.match(rf"(input|output)\s+({_IDENT})$", decl)
+        if not m:
+            raise VerilogParseError(f"unsupported port declaration {decl!r}")
+        if m.group(1) == "input":
+            circuit.add_input(m.group(2))
+        else:
+            outputs.append(m.group(2))
+
+    for stmt in body.split(";"):
+        stmt = stmt.strip()
+        if not stmt:
+            continue
+        if stmt.startswith("wire"):
+            continue  # wires are implicit in our model
+        m = re.match(rf"assign\s+({_IDENT})\s*=\s*1'b([01])$", stmt)
+        if m:
+            gtype = GateType.CONST1 if m.group(2) == "1" else GateType.CONST0
+            circuit.add_gate(m.group(1), gtype, ())
+            continue
+        m = re.match(
+            rf"dff\s*(?:#\(\.INIT\(1'b([01])\)\))?\s*{_IDENT}\s*\(\s*({_IDENT})\s*,\s*({_IDENT})\s*\)$",
+            stmt,
+        )
+        if m:
+            init = int(m.group(1) or "0")
+            circuit.add_flop(m.group(2), m.group(3), init)
+            continue
+        m = re.match(rf"({_IDENT})\s+{_IDENT}\s*\(\s*([^)]*)\)$", stmt)
+        if m and m.group(1) in _BY_KEYWORD:
+            args = [a.strip() for a in m.group(2).split(",")]
+            circuit.add_gate(args[0], _BY_KEYWORD[m.group(1)], args[1:])
+            continue
+        raise VerilogParseError(f"unsupported statement {stmt!r}")
+
+    for po in outputs:
+        circuit.add_output(po)
+    circuit.validate()
+    return circuit

@@ -1,0 +1,133 @@
+"""Fault-campaign result database (paper IV.A).
+
+"RESCUE aims at generating and providing to the community large
+databases with the results of fault simulation campaigns and reliability
+analysis of complex circuits."  This module is that database: campaign
+records persist to SQLite (stdlib), are queryable by circuit/fault
+model/outcome, and aggregate into the cross-campaign statistics that
+downstream cross-layer techniques consume.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL,
+    circuit TEXT NOT NULL,
+    fault_model TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    params TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS injections (
+    id INTEGER PRIMARY KEY,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    location TEXT NOT NULL,
+    cycle INTEGER NOT NULL DEFAULT 0,
+    outcome TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_inj_campaign ON injections(campaign_id);
+CREATE INDEX IF NOT EXISTS idx_inj_outcome ON injections(outcome);
+"""
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Aggregated view of one stored campaign."""
+
+    campaign_id: int
+    name: str
+    circuit: str
+    fault_model: str
+    total: int
+    outcomes: dict[str, int]
+
+    def rate(self, outcome: str) -> float:
+        return self.outcomes.get(outcome, 0) / self.total if self.total else 0.0
+
+
+class CampaignDb:
+    """SQLite-backed campaign store (':memory:' by default)."""
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.conn = sqlite3.connect(str(path))
+        self.conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "CampaignDb":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def create_campaign(self, name: str, circuit: str, fault_model: str,
+                        workload: str, params: dict | None = None) -> int:
+        cur = self.conn.execute(
+            "INSERT INTO campaigns (name, circuit, fault_model, workload, params)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (name, circuit, fault_model, workload, json.dumps(params or {})))
+        self.conn.commit()
+        return int(cur.lastrowid)
+
+    def record(self, campaign_id: int, location: str, cycle: int,
+               outcome: str) -> None:
+        self.conn.execute(
+            "INSERT INTO injections (campaign_id, location, cycle, outcome)"
+            " VALUES (?, ?, ?, ?)", (campaign_id, location, cycle, outcome))
+
+    def record_many(self, campaign_id: int,
+                    rows: list[tuple[str, int, str]]) -> None:
+        self.conn.executemany(
+            "INSERT INTO injections (campaign_id, location, cycle, outcome)"
+            " VALUES (?, ?, ?, ?)",
+            [(campaign_id, loc, cyc, out) for loc, cyc, out in rows])
+        self.conn.commit()
+
+    # ------------------------------------------------------------------
+    def summary(self, campaign_id: int) -> CampaignSummary:
+        row = self.conn.execute(
+            "SELECT name, circuit, fault_model FROM campaigns WHERE id=?",
+            (campaign_id,)).fetchone()
+        if row is None:
+            raise KeyError(f"no campaign {campaign_id}")
+        outcomes: dict[str, int] = {}
+        for outcome, count in self.conn.execute(
+                "SELECT outcome, COUNT(*) FROM injections WHERE campaign_id=?"
+                " GROUP BY outcome", (campaign_id,)):
+            outcomes[outcome] = count
+        total = sum(outcomes.values())
+        return CampaignSummary(campaign_id, row[0], row[1], row[2], total,
+                               outcomes)
+
+    def campaigns_for(self, circuit: str) -> list[int]:
+        return [r[0] for r in self.conn.execute(
+            "SELECT id FROM campaigns WHERE circuit=? ORDER BY id", (circuit,))]
+
+    def failure_rate_by_location(self, campaign_id: int,
+                                 failure_outcome: str = "failure") -> dict[str, float]:
+        """Per-location failure probability — AVF-style aggregation."""
+        totals: dict[str, int] = {}
+        fails: dict[str, int] = {}
+        for location, outcome in self.conn.execute(
+                "SELECT location, outcome FROM injections WHERE campaign_id=?",
+                (campaign_id,)):
+            totals[location] = totals.get(location, 0) + 1
+            if outcome == failure_outcome:
+                fails[location] = fails.get(location, 0) + 1
+        return {loc: fails.get(loc, 0) / n for loc, n in totals.items()}
+
+    def cross_campaign_outcomes(self) -> dict[str, int]:
+        """Community-database view: outcome histogram over everything."""
+        return {
+            outcome: count
+            for outcome, count in self.conn.execute(
+                "SELECT outcome, COUNT(*) FROM injections GROUP BY outcome")
+        }

@@ -1,0 +1,70 @@
+"""Plain-text reporting: ASCII tables and simple bar charts.
+
+Every benchmark harness prints its paper-figure/table reproduction
+through these helpers, so the output format is uniform across the 19
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render an ASCII table with auto-sized columns."""
+    str_rows = []
+    for row in rows:
+        str_rows.append([
+            (f"{cell:{floatfmt}}" if isinstance(cell, float) else str(cell))
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    out.append(sep)
+    for row in str_rows:
+        out.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+    out.append(sep)
+    return "\n".join(out)
+
+
+def format_bars(
+    labels_values: Sequence[tuple[str, float]],
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (the Fig. 1 bubble substitute)."""
+    if not labels_values:
+        return title or ""
+    peak = max(v for _, v in labels_values) or 1.0
+    label_w = max(len(lbl) for lbl, _ in labels_values)
+    out = [title] if title else []
+    for label, value in labels_values:
+        bar = "#" * max(0, round(width * value / peak))
+        out.append(f"{label.ljust(label_w)} | {bar} {value:g}{unit}")
+    return "\n".join(out)
+
+
+def format_kv(pairs: Sequence[tuple[str, object]], title: str | None = None) -> str:
+    """Aligned key/value block for summary sections."""
+    if not pairs:
+        return title or ""
+    key_w = max(len(k) for k, _ in pairs)
+    out = [title] if title else []
+    for key, value in pairs:
+        out.append(f"{key.ljust(key_w)} : {value}")
+    return "\n".join(out)

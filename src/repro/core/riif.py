@@ -1,0 +1,162 @@
+"""RIIF-style reliability information interchange (paper IV.A).
+
+"The project uses and significantly extends the Reliability Information
+Interchange Format (RIIF) to support the new design paradigms" —
+extra-functional data (technology fault rates, environment-induced event
+rates, derating factors) "must be generated, consumed and exchanged
+transparently and safely" between tools.
+
+The format here is a RIIF-flavoured text form: component models with
+typed parameters and failure modes carrying FIT rates, plus hierarchy
+(a system instantiates component models with multipliers).  Parse and
+emit round-trip exactly; ``to_fit_budget`` bridges into the soft-error
+budget machinery so an exchanged model is immediately analyzable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..soft_error.fit import FitBudget
+
+
+@dataclass
+class FailureModeSpec:
+    """One failure mode of a component model."""
+
+    name: str
+    fit: float
+    detectable: bool = False
+
+
+@dataclass
+class ComponentModel:
+    """A RIIF component: parameters + failure modes."""
+
+    name: str
+    parameters: dict[str, float] = field(default_factory=dict)
+    modes: list[FailureModeSpec] = field(default_factory=list)
+
+    @property
+    def total_fit(self) -> float:
+        return sum(m.fit for m in self.modes)
+
+
+@dataclass
+class SystemModel:
+    """A system instantiating component models with counts."""
+
+    name: str
+    instances: list[tuple[str, str, int]] = field(default_factory=list)
+    # (instance name, component model name, count)
+
+
+@dataclass
+class RiifDocument:
+    """A parsed RIIF-style document."""
+
+    components: dict[str, ComponentModel] = field(default_factory=dict)
+    systems: dict[str, SystemModel] = field(default_factory=dict)
+
+    def system_fit(self, system_name: str) -> float:
+        system = self.systems[system_name]
+        total = 0.0
+        for _inst, model_name, count in system.instances:
+            total += self.components[model_name].total_fit * count
+        return total
+
+    def to_fit_budget(self, system_name: str, asil: str = "ASIL-D") -> "FitBudget":
+        """Bridge into the ISO 26262 budget machinery (experiment E19)."""
+        # imported here to keep repro.core import-safe (fit.py uses core.stats)
+        from ..soft_error.fit import ComponentSER, FitBudget
+
+        budget = FitBudget(asil)
+        system = self.systems[system_name]
+        for inst, model_name, count in system.instances:
+            model = self.components[model_name]
+            bits = int(model.parameters.get("bits", 1))
+            budget.add(ComponentSER(
+                name=inst,
+                bits=bits * count,
+                raw_fit_per_mbit=model.total_fit / max(bits, 1) * 1e6,
+                functional_derating=model.parameters.get("derating", 1.0),
+                protected=model.parameters.get("protected", 0.0) > 0,
+            ))
+        return budget
+
+
+def emit_riif(doc: RiifDocument) -> str:
+    """Serialize a document to the RIIF-style text form."""
+    lines: list[str] = []
+    for comp in doc.components.values():
+        lines.append(f"component {comp.name} {{")
+        for key, value in comp.parameters.items():
+            lines.append(f"  parameter {key} = {value:g};")
+        for mode in comp.modes:
+            flag = " detectable" if mode.detectable else ""
+            lines.append(f"  failure_mode {mode.name} fit={mode.fit:g}{flag};")
+        lines.append("}")
+    for system in doc.systems.values():
+        lines.append(f"system {system.name} {{")
+        for inst, model, count in system.instances:
+            lines.append(f"  instance {inst} : {model} * {count};")
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+class RiifParseError(ValueError):
+    """Raised on malformed RIIF-style input."""
+
+
+_COMPONENT = re.compile(r"component\s+(\w+)\s*\{")
+_SYSTEM = re.compile(r"system\s+(\w+)\s*\{")
+_PARAM = re.compile(r"parameter\s+(\w+)\s*=\s*([-\d.eE+]+)\s*;")
+_MODE = re.compile(r"failure_mode\s+(\w+)\s+fit=([-\d.eE+]+)(\s+detectable)?\s*;")
+_INSTANCE = re.compile(r"instance\s+(\w+)\s*:\s*(\w+)\s*\*\s*(\d+)\s*;")
+
+
+def parse_riif(text: str) -> RiifDocument:
+    """Parse the RIIF-style text form."""
+    doc = RiifDocument()
+    current: ComponentModel | SystemModel | None = None
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        m = _COMPONENT.match(line)
+        if m:
+            current = ComponentModel(m.group(1))
+            doc.components[current.name] = current
+            continue
+        m = _SYSTEM.match(line)
+        if m:
+            current = SystemModel(m.group(1))
+            doc.systems[current.name] = current
+            continue
+        if line == "}":
+            current = None
+            continue
+        m = _PARAM.match(line)
+        if m and isinstance(current, ComponentModel):
+            current.parameters[m.group(1)] = float(m.group(2))
+            continue
+        m = _MODE.match(line)
+        if m and isinstance(current, ComponentModel):
+            current.modes.append(FailureModeSpec(
+                m.group(1), float(m.group(2)), bool(m.group(3))))
+            continue
+        m = _INSTANCE.match(line)
+        if m and isinstance(current, SystemModel):
+            current.instances.append((m.group(1), m.group(2), int(m.group(3))))
+            continue
+        raise RiifParseError(f"unsupported RIIF line {line!r}")
+    # referenced models must exist
+    for system in doc.systems.values():
+        for _inst, model, _count in system.instances:
+            if model not in doc.components:
+                raise RiifParseError(
+                    f"system {system.name!r} references unknown model {model!r}")
+    return doc

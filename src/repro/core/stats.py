@@ -1,0 +1,108 @@
+"""Statistical utilities shared across the toolkit.
+
+FIT conversions, binomial confidence intervals for fault-injection
+campaigns, and the Leveugle-style sample sizing re-exported from
+``repro.faults.sampling`` so downstream code has one import site.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import stats as _scipy_stats
+
+from ..faults.sampling import sample_size
+
+HOURS_PER_BILLION = 1e9
+
+
+def fit_from_rate(failures: float, device_hours: float) -> float:
+    """FIT = failures per 10^9 device-hours."""
+    if device_hours <= 0:
+        raise ValueError("device_hours must be positive")
+    return failures / device_hours * HOURS_PER_BILLION
+
+
+def fit_to_mtbf_hours(fit: float) -> float:
+    """Mean time between failures (hours) for a given FIT rate."""
+    if fit <= 0:
+        return math.inf
+    return HOURS_PER_BILLION / fit
+
+
+def scale_fit_per_mbit(fit_per_mbit: float, bits: int) -> float:
+    """Scale a per-Mbit raw FIT figure to an actual bit count."""
+    return fit_per_mbit * bits / 1e6
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A two-sided confidence interval."""
+
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> Interval:
+    """Wilson score interval for a binomial proportion.
+
+    The standard interval for fault-injection campaign results: behaves
+    sanely at 0 and 100 % observed rates, unlike the normal approximation.
+    """
+    if trials <= 0:
+        return Interval(0.0, 1.0, confidence)
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    z = _scipy_stats.norm.ppf(0.5 + confidence / 2)
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    centre = (phat + z * z / (2 * trials)) / denom
+    margin = z * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials)) / denom
+    low = 0.0 if successes == 0 else max(0.0, float(centre - margin))
+    high = 1.0 if successes == trials else min(1.0, float(centre + margin))
+    return Interval(low, high, confidence)
+
+
+def clopper_pearson_interval(successes: int, trials: int,
+                             confidence: float = 0.95) -> Interval:
+    """Exact (conservative) binomial interval via the Beta distribution."""
+    if trials <= 0:
+        return Interval(0.0, 1.0, confidence)
+    alpha = 1 - confidence
+    low = 0.0 if successes == 0 else float(
+        _scipy_stats.beta.ppf(alpha / 2, successes, trials - successes + 1))
+    high = 1.0 if successes == trials else float(
+        _scipy_stats.beta.ppf(1 - alpha / 2, successes + 1, trials - successes))
+    return Interval(low, high, confidence)
+
+
+def welch_t_test(sample_a, sample_b) -> tuple[float, float]:
+    """Welch's t-test; returns (t statistic, two-sided p value).
+
+    The work-horse of both the timing side-channel audit (fixed-vs-random
+    leakage detection) and TVLA-style power analysis.
+    """
+    t_stat, p_value = _scipy_stats.ttest_ind(sample_a, sample_b, equal_var=False)
+    return float(t_stat), float(p_value)
+
+
+def required_injections(population: int, margin: float = 0.01,
+                        confidence: float = 0.95, p_estimate: float = 0.5) -> int:
+    """Alias of the Leveugle sample-size bound (single import site)."""
+    return sample_size(population, margin, confidence, p_estimate)
+
+
+def speedup(reference: float, improved: float) -> float:
+    """reference/improved with guard against zero."""
+    if improved <= 0:
+        return math.inf
+    return reference / improved

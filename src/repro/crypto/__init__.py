@@ -1,0 +1,39 @@
+"""Crypto cores with side-channel instrumentation (substrate for III.F)."""
+
+from .aes import (
+    INV_SBOX,
+    SBOX,
+    AesConstantTime,
+    AesLeaky,
+    SideChannelTrace,
+    encrypt_block,
+    expand_key,
+    gmul,
+    hamming_weight,
+    xtime,
+)
+from .modexp import (
+    MULTIPLY_COST,
+    SQUARE_COST,
+    ModExpResult,
+    montgomery_ladder,
+    square_and_multiply,
+)
+
+__all__ = [
+    "AesConstantTime",
+    "AesLeaky",
+    "INV_SBOX",
+    "MULTIPLY_COST",
+    "ModExpResult",
+    "SBOX",
+    "SQUARE_COST",
+    "SideChannelTrace",
+    "encrypt_block",
+    "expand_key",
+    "gmul",
+    "hamming_weight",
+    "montgomery_ladder",
+    "square_and_multiply",
+    "xtime",
+]

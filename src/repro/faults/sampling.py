@@ -1,0 +1,118 @@
+"""Statistical fault sampling.
+
+Exhaustive fault injection is "ultimate in terms of accuracy but very
+cumbersome" (RESCUE, Section III.B); random sampling with a statistically
+justified size is the practical alternative.  This module draws seeded
+samples and computes the classic sample-size bound (Leveugle et al.,
+DATE 2009) used throughout the soft-error experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def sample_size(population: int, margin: float = 0.01, confidence: float = 0.95,
+                p_estimate: float = 0.5) -> int:
+    """Required number of fault injections for a target error margin.
+
+    Finite-population corrected formula::
+
+        n = N / (1 + e^2 * (N - 1) / (t^2 * p * (1 - p)))
+
+    where ``t`` is the normal quantile for the requested confidence,
+    ``e`` the margin of error and ``p`` the (worst-case 0.5 by default)
+    estimated failure probability.
+    """
+    if population <= 0:
+        return 0
+    if not 0 < margin < 1:
+        raise ValueError("margin must be in (0, 1)")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    t = _normal_quantile(0.5 + confidence / 2)
+    p = min(max(p_estimate, 1e-9), 1 - 1e-9)
+    n = population / (1 + margin ** 2 * (population - 1) / (t ** 2 * p * (1 - p)))
+    return min(population, math.ceil(n))
+
+
+def _normal_quantile(q: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Implemented locally so the faults layer stays scipy-free; accurate to
+    ~1e-9 over (0, 1), far beyond what sample sizing needs.
+    """
+    if not 0 < q < 1:
+        raise ValueError("quantile argument must be in (0, 1)")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if q < p_low:
+        u = math.sqrt(-2 * math.log(q))
+        return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / \
+               ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1)
+    if q > 1 - p_low:
+        u = math.sqrt(-2 * math.log(1 - q))
+        return -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / \
+               ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1)
+    u = q - 0.5
+    r = u * u
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * u / \
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)
+
+
+def draw_sample(faults: Sequence[T], n: int, seed: int = 0) -> list[T]:
+    """Seeded uniform sample without replacement (whole list if n >= len)."""
+    if n >= len(faults):
+        return list(faults)
+    return random.Random(seed).sample(list(faults), n)
+
+
+def stratified_sample(groups: dict[str, Sequence[T]], total: int, seed: int = 0) -> dict[str, list[T]]:
+    """Proportionally allocate ``total`` samples across named strata.
+
+    Each non-empty stratum receives at least one sample; remainders go to
+    the largest strata first (deterministic).
+    """
+    rng = random.Random(seed)
+    population = sum(len(g) for g in groups.values())
+    if population == 0:
+        return {name: [] for name in groups}
+    alloc: dict[str, int] = {}
+    for name, members in groups.items():
+        if not members:
+            alloc[name] = 0
+            continue
+        share = max(1, round(total * len(members) / population))
+        alloc[name] = min(share, len(members))
+    # trim or grow to match the requested total where possible
+    order = sorted(groups, key=lambda k: -len(groups[k]))
+    while sum(alloc.values()) > total:
+        for name in order:
+            if alloc[name] > 1 and sum(alloc.values()) > total:
+                alloc[name] -= 1
+        if all(alloc[name] <= 1 for name in order):
+            break
+    while sum(alloc.values()) < total:
+        grew = False
+        for name in order:
+            if alloc[name] < len(groups[name]) and sum(alloc.values()) < total:
+                alloc[name] += 1
+                grew = True
+        if not grew:
+            break
+    return {
+        name: (rng.sample(list(members), alloc[name]) if alloc[name] < len(members)
+               else list(members))
+        for name, members in groups.items()
+    }

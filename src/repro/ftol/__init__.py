@@ -1,0 +1,57 @@
+"""Cross-layer fault tolerance: ECC, redundancy, monitors, management."""
+
+from .ecc import DecodeResult, DecodeStatus, EccMemory, Hamming, parity
+from .manager import (
+    Action,
+    FaultEvent,
+    FaultKind,
+    GlobalManager,
+    HandledRecord,
+    LocalHandler,
+    MeetInTheMiddle,
+    make_transient_storm,
+)
+from .monitors import (
+    AgingMonitor,
+    MonitorReading,
+    PulseStretchingDetector,
+    SramSeuMonitor,
+    TemperatureSensor,
+)
+from .redundancy import (
+    Lockstep,
+    LockstepEvent,
+    ScrubbingSchedule,
+    Tmr,
+    TmrStats,
+    temporal_redundancy,
+    vote_majority,
+)
+
+__all__ = [
+    "Action",
+    "AgingMonitor",
+    "DecodeResult",
+    "DecodeStatus",
+    "EccMemory",
+    "FaultEvent",
+    "FaultKind",
+    "GlobalManager",
+    "Hamming",
+    "HandledRecord",
+    "LocalHandler",
+    "Lockstep",
+    "LockstepEvent",
+    "MeetInTheMiddle",
+    "MonitorReading",
+    "PulseStretchingDetector",
+    "ScrubbingSchedule",
+    "SramSeuMonitor",
+    "TemperatureSensor",
+    "Tmr",
+    "TmrStats",
+    "make_transient_storm",
+    "parity",
+    "temporal_redundancy",
+    "vote_majority",
+]

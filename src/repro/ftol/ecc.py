@@ -1,0 +1,181 @@
+"""Error-correcting codes: parity, Hamming SEC, and Hamming SEC-DED.
+
+The memory-protection building block behind the AutoSoC ECC
+configuration (paper IV.B) and the FIT-budget 'protected' components.
+Also reused by the PUF fuzzy extractor as the inner code.
+
+The Hamming implementation is the textbook construction: parity bit
+*p_i* (at power-of-two position ``2^i``) covers the positions whose
+index has bit *i* set; the syndrome directly addresses the flipped bit.
+SEC-DED adds an overall parity bit to separate single (correctable) from
+double (detectable-only) errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+def parity(bits: int, width: int) -> int:
+    """Even parity over ``width`` bits."""
+    return bin(bits & ((1 << width) - 1)).count("1") & 1
+
+
+class DecodeStatus(str, Enum):
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED = "detected_uncorrectable"
+    MISCORRECTED = "miscorrected"  # only reported by oracle checks in tests
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    data: int
+    status: DecodeStatus
+    flipped_position: int | None = None
+
+
+class Hamming:
+    """Hamming SEC / SEC-DED code for a configurable data width."""
+
+    def __init__(self, data_bits: int = 8, extended: bool = True) -> None:
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        self.data_bits = data_bits
+        self.extended = extended
+        self.parity_bits = self._parity_bits_for(data_bits)
+        self.code_bits = data_bits + self.parity_bits + (1 if extended else 0)
+
+    @staticmethod
+    def _parity_bits_for(data_bits: int) -> int:
+        r = 0
+        while (1 << r) < data_bits + r + 1:
+            r += 1
+        return r
+
+    # positions are 1-based inside the Hamming construction
+    def _is_parity_pos(self, pos: int) -> bool:
+        return pos & (pos - 1) == 0
+
+    def encode(self, data: int) -> int:
+        """Return the codeword for ``data`` (LSB-first positions)."""
+        if data < 0 or data >= (1 << self.data_bits):
+            raise ValueError(f"data out of range for {self.data_bits} bits")
+        n = self.data_bits + self.parity_bits
+        word = [0] * (n + 1)  # index 0 unused
+        src = 0
+        for pos in range(1, n + 1):
+            if not self._is_parity_pos(pos):
+                word[pos] = (data >> src) & 1
+                src += 1
+        for i in range(self.parity_bits):
+            p = 1 << i
+            acc = 0
+            for pos in range(1, n + 1):
+                if pos & p and pos != p:
+                    acc ^= word[pos]
+            word[p] = acc
+        code = 0
+        for pos in range(1, n + 1):
+            code |= word[pos] << (pos - 1)
+        if self.extended:
+            code |= parity(code, n) << n
+        return code
+
+    def decode(self, code: int) -> DecodeResult:
+        """Decode, correcting single errors; SEC-DED flags double errors."""
+        n = self.data_bits + self.parity_bits
+        # index 0 unused; position p lives at codeword bit p-1
+        word = [0] + [(code >> (pos - 1)) & 1 for pos in range(1, n + 1)]
+        syndrome = 0
+        for i in range(self.parity_bits):
+            p = 1 << i
+            acc = 0
+            for pos in range(1, n + 1):
+                if pos & p:
+                    acc ^= word[pos]
+            if acc:
+                syndrome |= p
+        overall_ok = True
+        if self.extended:
+            stored = (code >> n) & 1
+            overall_ok = parity(code & ((1 << n) - 1), n) == stored
+
+        status = DecodeStatus.CLEAN
+        flipped = None
+        if syndrome == 0 and overall_ok:
+            status = DecodeStatus.CLEAN
+        elif syndrome == 0 and not overall_ok:
+            # error in the overall parity bit itself: data is intact
+            status = DecodeStatus.CORRECTED
+            flipped = n
+        elif self.extended and overall_ok:
+            # nonzero syndrome + clean overall parity = double-bit error
+            status = DecodeStatus.DETECTED
+        else:
+            if syndrome <= n:
+                word[syndrome] ^= 1
+                status = DecodeStatus.CORRECTED
+                flipped = syndrome - 1
+            else:
+                status = DecodeStatus.DETECTED
+        data = 0
+        dst = 0
+        for pos in range(1, n + 1):
+            if not self._is_parity_pos(pos):
+                data |= word[pos] << dst
+                dst += 1
+        return DecodeResult(data, status, flipped)
+
+    def overhead(self) -> float:
+        """Check-bit overhead ratio (check bits / data bits)."""
+        return (self.code_bits - self.data_bits) / self.data_bits
+
+
+class EccMemory:
+    """A word-organized memory protected by Hamming SEC-DED.
+
+    Reads transparently correct single-bit upsets and report the event —
+    the hook the cross-layer fault manager subscribes to (scrubbing
+    decisions need corrected-error telemetry, not just failures).
+    """
+
+    def __init__(self, words: int, data_bits: int = 8) -> None:
+        self.code = Hamming(data_bits, extended=True)
+        self.words = words
+        self.data_bits = data_bits
+        self._store = [self.code.encode(0)] * words
+        self.corrected_count = 0
+        self.detected_count = 0
+
+    def write(self, addr: int, value: int) -> None:
+        self._store[self._check(addr)] = self.code.encode(value & ((1 << self.data_bits) - 1))
+
+    def read(self, addr: int) -> DecodeResult:
+        result = self.code.decode(self._store[self._check(addr)])
+        if result.status is DecodeStatus.CORRECTED:
+            self.corrected_count += 1
+        elif result.status is DecodeStatus.DETECTED:
+            self.detected_count += 1
+        return result
+
+    def scrub(self, addr: int) -> bool:
+        """Re-encode a word in place; returns True if a repair happened."""
+        result = self.code.decode(self._store[self._check(addr)])
+        if result.status is DecodeStatus.CORRECTED:
+            self._store[addr] = self.code.encode(result.data)
+            return True
+        return False
+
+    def inject_bitflips(self, addr: int, positions: list[int]) -> None:
+        """Flip the given codeword bit positions (SEU injection hook)."""
+        for pos in positions:
+            if not 0 <= pos < self.code.code_bits:
+                raise ValueError(f"bit position {pos} outside codeword")
+            self._store[self._check(addr)] ^= 1 << pos
+
+    def _check(self, addr: int) -> int:
+        if not 0 <= addr < self.words:
+            raise IndexError(f"address {addr} outside memory of {self.words} words")
+        return addr

@@ -1,0 +1,180 @@
+"""On-chip monitors for environmental and intrinsic state (paper III.C).
+
+The RESCUE cross-layer approach hinges on *sensing*: "effective sensing
+and decision making about the potential system reconfiguration based on
+the actual environmental and intrinsic changes".  Implemented monitors:
+
+* :class:`SramSeuMonitor` — spare SRAM words functionally reused as a
+  particle detector ([38]): known patterns are written, periodically
+  read back, and flips are counted into a flux estimate.
+* :class:`PulseStretchingDetector` — inverter-chain particle detector
+  ([39]): a strike produces a pulse that the chain stretches above the
+  counting threshold; sensitivity scales with chain length.
+* :class:`AgingMonitor` — a ring-oscillator proxy whose frequency tracks
+  BTI threshold-voltage drift.
+* :class:`TemperatureSensor` — environmental input for the manager's
+  policies (and for aging acceleration).
+
+All monitors expose ``sample(cycle)`` returning monitor-specific
+readings, so the fault manager can poll them uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MonitorReading:
+    """One sample from a monitor."""
+
+    cycle: int
+    name: str
+    value: float
+    events: int = 0
+
+
+class SramSeuMonitor:
+    """Spare-SRAM SEU monitor ([38]).
+
+    ``words`` spare words hold a checkerboard pattern.  Between samples,
+    upsets arrive with per-bit probability ``flux * bits * interval``;
+    a sample reads all words, counts flips, rewrites the pattern and
+    returns the flux estimate (flips per bit per cycle).
+    """
+
+    PATTERN = 0xAA
+
+    def __init__(self, words: int = 256, word_bits: int = 8, seed: int = 0) -> None:
+        self.words = words
+        self.word_bits = word_bits
+        self.rng = random.Random(seed)
+        self.mem = [self.PATTERN & ((1 << word_bits) - 1)] * words
+        self.total_flips = 0
+        self.samples = 0
+        self.last_sample_cycle = 0
+
+    @property
+    def bits(self) -> int:
+        return self.words * self.word_bits
+
+    def expose(self, flux_per_bit_cycle: float, cycles: int) -> int:
+        """Advance time under the given particle flux; returns upsets landed."""
+        upsets = 0
+        expected = flux_per_bit_cycle * self.bits * cycles
+        # Poisson thinning with the module RNG (deterministic per seed)
+        count = self._poisson(expected)
+        for _ in range(count):
+            w = self.rng.randrange(self.words)
+            b = self.rng.randrange(self.word_bits)
+            self.mem[w] ^= 1 << b
+            upsets += 1
+        return upsets
+
+    def _poisson(self, lam: float) -> int:
+        if lam <= 0:
+            return 0
+        # Knuth's algorithm is fine at the small rates involved
+        threshold = math.exp(-lam)
+        k, p = 0, 1.0
+        while True:
+            p *= self.rng.random()
+            if p <= threshold:
+                return k
+            k += 1
+
+    def sample(self, cycle: int) -> MonitorReading:
+        """Read back, count flips, restore pattern, estimate flux."""
+        pattern = self.PATTERN & ((1 << self.word_bits) - 1)
+        flips = sum(bin(word ^ pattern).count("1") for word in self.mem)
+        self.mem = [pattern] * self.words
+        self.total_flips += flips
+        self.samples += 1
+        interval = max(1, cycle - self.last_sample_cycle)
+        flux_est = flips / self.bits / interval
+        self.last_sample_cycle = cycle
+        return MonitorReading(cycle, "sram_seu", flux_est, flips)
+
+
+class PulseStretchingDetector:
+    """Inverter-chain particle detector ([39]).
+
+    A strike of width *w* on the chain input is stretched by
+    ``stretch_per_stage`` per inverter; the counter increments when the
+    stretched pulse exceeds ``count_threshold``.  Longer chains therefore
+    detect narrower (lower-energy) pulses — the paper's design knob.
+    """
+
+    def __init__(self, stages: int = 16, stretch_per_stage: float = 0.05,
+                 count_threshold: float = 1.0) -> None:
+        if stages <= 0:
+            raise ValueError("stages must be positive")
+        self.stages = stages
+        self.stretch_per_stage = stretch_per_stage
+        self.count_threshold = count_threshold
+        self.count = 0
+
+    def min_detectable_width(self) -> float:
+        """Narrowest input pulse that still trips the counter."""
+        return max(0.0, self.count_threshold - self.stages * self.stretch_per_stage)
+
+    def strike(self, pulse_width: float) -> bool:
+        """Present one strike; returns True (and counts) if detected."""
+        stretched = pulse_width + self.stages * self.stretch_per_stage
+        if stretched >= self.count_threshold:
+            self.count += 1
+            return True
+        return False
+
+    def sample(self, cycle: int) -> MonitorReading:
+        reading = MonitorReading(cycle, "pulse_detector", float(self.count),
+                                 self.count)
+        self.count = 0
+        return reading
+
+
+class AgingMonitor:
+    """Ring-oscillator aging sensor: frequency tracks ΔVth.
+
+    ``observe(delta_vth)`` converts a threshold shift (from
+    ``repro.aging.bti``) into a normalized frequency; the manager
+    compares against its guard band.
+    """
+
+    def __init__(self, f0_hz: float = 1e9, sensitivity: float = 4.0) -> None:
+        self.f0_hz = f0_hz
+        self.sensitivity = sensitivity
+        self.last_freq = f0_hz
+
+    def observe(self, delta_vth: float) -> float:
+        self.last_freq = self.f0_hz * (1 - self.sensitivity * delta_vth)
+        return self.last_freq
+
+    def degradation(self) -> float:
+        """Fractional frequency loss vs fresh silicon."""
+        return 1 - self.last_freq / self.f0_hz
+
+    def sample(self, cycle: int) -> MonitorReading:
+        return MonitorReading(cycle, "aging_ro", self.degradation())
+
+
+@dataclass
+class TemperatureSensor:
+    """Die-temperature model: ambient + activity-driven heating."""
+
+    ambient_c: float = 25.0
+    heating_per_activity: float = 40.0
+    tau_cycles: float = 10_000.0
+    current_c: float = field(default=25.0)
+
+    def update(self, activity: float, cycles: int = 1) -> float:
+        """First-order thermal step toward the activity-set target."""
+        target = self.ambient_c + self.heating_per_activity * max(0.0, activity)
+        alpha = 1 - math.exp(-cycles / self.tau_cycles)
+        self.current_c += (target - self.current_c) * alpha
+        return self.current_c
+
+    def sample(self, cycle: int) -> MonitorReading:
+        return MonitorReading(cycle, "temperature", self.current_c)

@@ -1,0 +1,53 @@
+"""FlexGrip-style SIMT GPGPU: core, SBST kernels, reliability studies."""
+
+from .apps import (
+    EncodingStudyResult,
+    encoding_style_study,
+    reduction_kernel,
+    saturating_add_branchy,
+    saturating_add_predicated,
+    seu_campaign_on_kernel,
+    vector_add_kernel,
+)
+from .sbst import (
+    SbstReport,
+    gpgpu_fault_universe,
+    mask_test_kernel,
+    pipeline_test_kernel,
+    run_kernel,
+    run_sbst_suite,
+    scheduler_test_kernel,
+    untestable_scheduler_faults,
+)
+from .simt import (
+    MaskFault,
+    PipeRegFault,
+    SchedulerFault,
+    SimtCore,
+    SimtIns,
+    Warp,
+)
+
+__all__ = [
+    "EncodingStudyResult",
+    "MaskFault",
+    "PipeRegFault",
+    "SbstReport",
+    "SchedulerFault",
+    "SimtCore",
+    "SimtIns",
+    "Warp",
+    "encoding_style_study",
+    "gpgpu_fault_universe",
+    "mask_test_kernel",
+    "pipeline_test_kernel",
+    "reduction_kernel",
+    "run_kernel",
+    "run_sbst_suite",
+    "saturating_add_branchy",
+    "saturating_add_predicated",
+    "scheduler_test_kernel",
+    "seu_campaign_on_kernel",
+    "untestable_scheduler_faults",
+    "vector_add_kernel",
+]

@@ -1,0 +1,166 @@
+"""GPGPU application kernels and the encoding-style reliability study.
+
+[25] evaluates SEU effects on typical GPGPU applications; [40] shows
+that *how* software encodes the same computation changes its fault
+vulnerability.  Two encodings of the same saturating-add workload are
+provided:
+
+* **branchy** — per-thread data-dependent branch (divergence: more
+  issue slots, state in the divergence machinery);
+* **predicated** — branch-free arithmetic (select via masks computed in
+  registers).
+
+The campaign injects pipeline-register transients at random issue slots
+and compares outcome distributions (masked / SDC) between encodings —
+the [40] experiment shape — plus a plain SEU study on vector-add and
+reduction kernels ([25]).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .simt import PipeRegFault, SimtCore, SimtIns
+
+
+def vector_add_kernel() -> list[SimtIns]:
+    """mem[tid+128] = mem[tid] + mem[tid+64]."""
+    return [
+        SimtIns("tid", dst=0),
+        SimtIns("ldg", dst=1, a=0, imm=0),
+        SimtIns("ldg", dst=2, a=0, imm=64),
+        SimtIns("add", dst=3, a=1, b=2),
+        SimtIns("stg", dst=3, a=0, imm=128),
+        SimtIns("halt"),
+    ]
+
+
+def reduction_kernel() -> list[SimtIns]:
+    """Per-thread partial sums: mem[tid+128] = mem[tid] + mem[tid+32] + mem[tid+64]."""
+    return [
+        SimtIns("tid", dst=0),
+        SimtIns("ldg", dst=1, a=0, imm=0),
+        SimtIns("ldg", dst=2, a=0, imm=32),
+        SimtIns("add", dst=1, a=1, b=2),
+        SimtIns("ldg", dst=2, a=0, imm=64),
+        SimtIns("add", dst=1, a=1, b=2),
+        SimtIns("stg", dst=1, a=0, imm=128),
+        SimtIns("halt"),
+    ]
+
+
+def saturating_add_branchy(limit: int = 100) -> list[SimtIns]:
+    """out = min(a + b, limit) using a data-dependent branch.
+
+    The comparison is kept unsigned-safe: ``over = (limit < sum)`` with
+    the limit materialized in a register (r5 is never written, so it
+    reads 0 and serves as the zero source).
+    """
+    return [
+        SimtIns("tid", dst=0),
+        SimtIns("ldg", dst=1, a=0, imm=0),
+        SimtIns("ldg", dst=2, a=0, imm=64),
+        SimtIns("add", dst=3, a=1, b=2),
+        SimtIns("addi", dst=6, a=5, imm=limit),    # r6 = limit
+        SimtIns("slt", dst=4, a=6, b=3),           # over = limit < sum
+        SimtIns("branch_ez", a=4, imm=8),          # if not over: skip clamp
+        SimtIns("add", dst=3, a=6, b=5),           # clamp: r3 = limit
+        SimtIns("stg", dst=3, a=0, imm=128),
+        SimtIns("halt"),
+    ]
+
+
+def saturating_add_predicated(limit: int = 100) -> list[SimtIns]:
+    """Branch-free encoding: out = sum*(1-over) + limit*over."""
+    return [
+        SimtIns("tid", dst=0),
+        SimtIns("ldg", dst=1, a=0, imm=0),
+        SimtIns("ldg", dst=2, a=0, imm=64),
+        SimtIns("add", dst=3, a=1, b=2),
+        SimtIns("addi", dst=4, a=5, imm=limit),    # r4 = limit
+        SimtIns("slt", dst=6, a=4, b=3),           # over = limit < sum
+        SimtIns("addi", dst=7, a=5, imm=1),
+        SimtIns("sub", dst=7, a=7, b=6),           # keep = 1 - over
+        SimtIns("mul", dst=3, a=3, b=7),           # sum*keep
+        SimtIns("mul", dst=4, a=4, b=6),           # limit*over
+        SimtIns("add", dst=3, a=3, b=4),
+        SimtIns("stg", dst=3, a=0, imm=128),
+        SimtIns("halt"),
+    ]
+
+
+def _run(kernel: list[SimtIns], inputs: list[int], faults: list[object],
+         n_warps: int = 2, warp_size: int = 8) -> tuple[list[int], int]:
+    core = SimtCore(kernel, n_warps=n_warps, warp_size=warp_size)
+    for i, value in enumerate(inputs):
+        core.memory[i] = value
+    for fault in faults:
+        core.inject(fault)
+    issues = core.run()
+    return core.memory[128:128 + core.n_threads], issues
+
+
+@dataclass
+class EncodingStudyResult:
+    """The [40]-style comparison row for one encoding."""
+
+    encoding: str
+    issue_slots: int
+    masked: int
+    sdc: int
+    injections: int
+
+    @property
+    def sdc_rate(self) -> float:
+        return self.sdc / self.injections if self.injections else 0.0
+
+
+def encoding_style_study(
+    n_injections: int = 60,
+    limit: int = 100,
+    seed: int = 0,
+) -> list[EncodingStudyResult]:
+    """Inject pipeline transients into both encodings of the same kernel."""
+    rng = random.Random(seed)
+    inputs = [rng.randrange(90) for _ in range(128)]
+    results = []
+    for name, kernel in (("branchy", saturating_add_branchy(limit)),
+                         ("predicated", saturating_add_predicated(limit))):
+        golden, golden_issues = _run(kernel, inputs, [])
+        masked = sdc = 0
+        for k in range(n_injections):
+            fault = PipeRegFault(
+                warp=rng.randrange(2), lane=rng.randrange(8),
+                bit=rng.randrange(16), at_issue=rng.randrange(golden_issues))
+            observed, _ = _run(kernel, inputs, [fault])
+            if observed == golden:
+                masked += 1
+            else:
+                sdc += 1
+        results.append(EncodingStudyResult(name, golden_issues, masked, sdc,
+                                           n_injections))
+    return results
+
+
+def seu_campaign_on_kernel(
+    kernel: list[SimtIns],
+    n_injections: int = 80,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Random pipeline-register SEUs on one kernel: outcome rates ([25])."""
+    rng = random.Random(seed)
+    inputs = [rng.randrange(256) for _ in range(128)]
+    golden, golden_issues = _run(kernel, inputs, [])
+    masked = sdc = 0
+    for _ in range(n_injections):
+        fault = PipeRegFault(
+            warp=rng.randrange(2), lane=rng.randrange(8),
+            bit=rng.randrange(32), at_issue=rng.randrange(golden_issues))
+        observed, _ = _run(kernel, inputs, [fault])
+        if observed == golden:
+            masked += 1
+        else:
+            sdc += 1
+    return {"masked": masked / n_injections, "sdc": sdc / n_injections,
+            "issue_slots": float(golden_issues)}

@@ -1,0 +1,200 @@
+"""Software-based self-test for the GPGPU (III.A, [11][42][46]).
+
+SBST kernels run as ordinary workloads but are constructed so that every
+targeted structure influences a memory *signature* the host checks:
+
+* the **scheduler kernel** makes each warp write a per-issue sequence
+  number, so starvation or hijacking permutes the signature ([11]);
+* the **mask kernel** has every lane write a lane-unique token, exposing
+  stuck mask bits;
+* the **pipeline kernel** funnels arithmetic through each lane's
+  pipeline register with alternating 0x55/0xAA patterns, catching
+  single-bit flips in either polarity ([42]).
+
+``untestable_scheduler_faults`` reproduces the [46] observation: some
+faults cannot produce any functional difference for a given kernel
+configuration (e.g. scheduler faults on warps beyond the launched grid)
+and must be excluded from the coverage denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .simt import MaskFault, PipeRegFault, SchedulerFault, SimtCore, SimtIns
+
+
+def scheduler_test_kernel(warp_size: int = 8) -> list[SimtIns]:
+    """Order-sensitive scheduler signature.
+
+    Two parts: (a) each thread stores tid+1000 at mem[tid] — starvation
+    leaves missing tokens; (b) a deliberate per-lane read-modify-write
+    race on mem[lane+200]: with round-robin both warps read *before*
+    either writes (a lost update), so the final value encodes the issue
+    interleaving.  A hijacked scheduler serializes the warps and the
+    race resolves differently — catching faults that only permute
+    execution order without suppressing any write ([11]'s key point:
+    scheduler faults need *functional* sequences, not just data tests).
+    """
+    return [
+        SimtIns("tid", dst=0),
+        SimtIns("addi", dst=1, a=0, imm=1000),
+        SimtIns("stg", dst=1, a=0, imm=0),        # part (a): presence token
+        SimtIns("addi", dst=6, a=5, imm=warp_size - 1),
+        SimtIns("slt", dst=7, a=6, b=0),          # warp id (0/1 for 2 warps)
+        SimtIns("addi", dst=7, a=7, imm=1),       # wid + 1
+        SimtIns("and", dst=4, a=0, b=6),          # lane = tid & (ws-1)
+        SimtIns("addi", dst=3, a=5, imm=4),
+        SimtIns("ldg", dst=1, a=4, imm=200),      # racy read
+        SimtIns("mul", dst=1, a=1, b=3),
+        SimtIns("add", dst=1, a=1, b=7),
+        SimtIns("stg", dst=1, a=4, imm=200),      # racy write
+        SimtIns("halt"),
+    ]
+
+
+def mask_test_kernel() -> list[SimtIns]:
+    """Lane-unique tokens plus two divergent sections.
+
+    Stuck-0 mask bits suppress the baseline token.  Stuck-1 bits only
+    matter while a lane *should* be inactive, so the kernel forces both
+    parities through a divergent region: even lanes skip pc 6-7, odd
+    lanes skip pc 10-11 — a stuck-1 lane of either parity then executes
+    a section it must not, leaving an extra token.
+    """
+    return [
+        SimtIns("tid", dst=0),
+        SimtIns("addi", dst=3, a=5, imm=1),     # r3 = 1 (r5 reads 0)
+        SimtIns("and", dst=2, a=0, b=3),        # r2 = parity(tid)
+        SimtIns("addi", dst=1, a=0, imm=0x55),
+        SimtIns("stg", dst=1, a=0, imm=0),      # baseline token
+        SimtIns("branch_ez", a=2, imm=8),       # even lanes skip odd section
+        SimtIns("addi", dst=1, a=0, imm=0xAA),  # odd lanes only
+        SimtIns("stg", dst=1, a=0, imm=64),
+        SimtIns("sub", dst=4, a=3, b=2),        # r4 = 1 - parity
+        SimtIns("branch_ez", a=4, imm=12),      # odd lanes skip even section
+        SimtIns("addi", dst=1, a=0, imm=0x77),  # even lanes only
+        SimtIns("stg", dst=1, a=0, imm=96),
+        SimtIns("halt"),
+    ]
+
+
+def pipeline_test_kernel() -> list[SimtIns]:
+    """Alternating-pattern arithmetic exposing pipeline-register flips."""
+    return [
+        SimtIns("tid", dst=0),
+        SimtIns("addi", dst=1, a=0, imm=0x5555),
+        SimtIns("addi", dst=2, a=0, imm=0x2AAA),
+        SimtIns("add", dst=3, a=1, b=2),
+        SimtIns("stg", dst=3, a=0, imm=0),
+        SimtIns("sub", dst=4, a=3, b=1),
+        SimtIns("stg", dst=4, a=0, imm=64),
+        SimtIns("mul", dst=5, a=4, b=2),
+        SimtIns("stg", dst=5, a=0, imm=128),
+        SimtIns("halt"),
+    ]
+
+
+def run_kernel(kernel: list[SimtIns], faults: list[object] | None = None,
+               n_warps: int = 2, warp_size: int = 8) -> list[int]:
+    """Run a kernel; the signature is the full memory image."""
+    core = SimtCore(kernel, n_warps=n_warps, warp_size=warp_size)
+    for fault in faults or []:
+        core.inject(fault)
+    core.run()
+    return list(core.memory)
+
+
+def gpgpu_fault_universe(n_warps: int = 2, warp_size: int = 8) -> list[object]:
+    """The structural fault list for one core configuration.
+
+    Pipeline-register transients are placed on an issue slot where their
+    warp actually executes: with round-robin scheduling warp *w* owns
+    issue slots ``k·n_warps + w``, so slot ``2·n_warps + w`` is warp w's
+    third instruction — inside every SBST kernel's compute section.
+    """
+    faults: list[object] = []
+    for w in range(n_warps):
+        faults.append(SchedulerFault("starve", w))
+        faults.append(SchedulerFault("hijack", w, (w + 1) % max(1, n_warps)))
+        for lane in range(warp_size):
+            faults.append(MaskFault(w, lane, 0))
+            faults.append(MaskFault(w, lane, 1))
+    for w in range(n_warps):
+        for lane in (0, warp_size - 1):
+            for bit in (0, 7, 13):
+                faults.append(PipeRegFault(w, lane, bit,
+                                           at_issue=2 * n_warps + w))
+    return faults
+
+
+@dataclass
+class SbstReport:
+    """Coverage of one SBST kernel suite over a fault universe."""
+
+    detected: list[object] = field(default_factory=list)
+    undetected: list[object] = field(default_factory=list)
+    untestable: list[object] = field(default_factory=list)
+
+    @property
+    def raw_coverage(self) -> float:
+        total = len(self.detected) + len(self.undetected) + len(self.untestable)
+        return len(self.detected) / total if total else 1.0
+
+    @property
+    def effective_coverage(self) -> float:
+        """Coverage with untestable faults removed from the denominator —
+        the corrected figure the [46] methodology produces."""
+        total = len(self.detected) + len(self.undetected)
+        return len(self.detected) / total if total else 1.0
+
+
+def untestable_scheduler_faults(faults: list[object], launched_warps: int) -> list[object]:
+    """Faults on structures the kernel configuration never exercises."""
+    untestable = []
+    for fault in faults:
+        if isinstance(fault, SchedulerFault) and fault.victim >= launched_warps:
+            untestable.append(fault)
+        if isinstance(fault, MaskFault) and fault.warp >= launched_warps:
+            untestable.append(fault)
+        if isinstance(fault, PipeRegFault) and fault.warp >= launched_warps:
+            untestable.append(fault)
+    return untestable
+
+
+def run_sbst_suite(
+    n_warps: int = 2,
+    warp_size: int = 8,
+    launched_warps: int | None = None,
+) -> SbstReport:
+    """Run the three SBST kernels against the full fault universe.
+
+    ``launched_warps`` < ``n_warps`` models the [46] configuration gap:
+    hardware warps the workload never launches are functionally
+    untestable for it.
+    """
+    if launched_warps is None:
+        launched_warps = n_warps
+    kernels = [scheduler_test_kernel(warp_size), mask_test_kernel(),
+               pipeline_test_kernel()]
+    goldens = [run_kernel(k, None, launched_warps, warp_size) for k in kernels]
+
+    universe = gpgpu_fault_universe(n_warps, warp_size)
+    structurally_untestable = set(
+        id(f) for f in untestable_scheduler_faults(universe, launched_warps))
+    report = SbstReport()
+    for fault in universe:
+        if id(fault) in structurally_untestable:
+            report.untestable.append(fault)
+            continue
+        caught = False
+        for kernel, golden in zip(kernels, goldens):
+            observed = run_kernel(kernel, [fault], launched_warps, warp_size)
+            if observed != golden:
+                caught = True
+                break
+        if caught:
+            report.detected.append(fault)
+        else:
+            report.undetected.append(fault)
+    return report

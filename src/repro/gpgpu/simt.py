@@ -1,0 +1,248 @@
+"""A FlexGrip-style SIMT GPGPU core (paper III.A/III.B).
+
+The RESCUE GPGPU work ([11], [25], [40]-[43], [46]) models an
+OpenCL-class device: warps of threads execute one instruction per issue
+slot in lockstep under a predicate mask, a warp scheduler picks the next
+ready warp, and divergence is handled with a reconvergence stack.  This
+simulator reproduces that micro-architecture at the fidelity the
+experiments need:
+
+* a **warp scheduler** (round-robin) whose state is a fault target —
+  [11]'s "functional test of the GPGPU scheduler";
+* per-warp **active masks** and a divergence stack — mask bits are fault
+  targets;
+* **pipeline registers** between issue and writeback — [42]'s fault
+  site;
+* a small SIMT ISA sufficient for the kernels of [25]/[40].
+
+Kernels are lists of :class:`SimtIns`; thread-ID-dependent control flow
+uses the ``tid`` special register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+WORD = 0xFFFFFFFF
+
+#: ops: (dst, a, b) registers unless noted
+SIMT_OPS = ("add", "sub", "mul", "and", "or", "xor", "slt",
+            "addi",      # dst, a, imm
+            "ldg",       # dst <- mem[a + imm]
+            "stg",       # mem[a + imm] <- dst
+            "tid",       # dst <- global thread id
+            "branch_ez", # if reg a == 0: jump to imm (uniform per-thread)
+            "jump",      # unconditional jump to imm
+            "halt")
+
+
+@dataclass(frozen=True)
+class SimtIns:
+    """One SIMT instruction."""
+
+    op: str
+    dst: int = 0
+    a: int = 0
+    b: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in SIMT_OPS:
+            raise ValueError(f"unknown SIMT op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class SchedulerFault:
+    """Warp-scheduler corruption: warp ``victim`` is never scheduled
+    (starvation) or replaces ``impostor``'s slot (double issue)."""
+
+    kind: str  # "starve" | "hijack"
+    victim: int
+    impostor: int = 0
+
+
+@dataclass(frozen=True)
+class MaskFault:
+    """A stuck bit in one warp's active mask."""
+
+    warp: int
+    lane: int
+    stuck_to: int
+
+
+@dataclass(frozen=True)
+class PipeRegFault:
+    """Transient flip in the issue→writeback pipeline register of a lane."""
+
+    warp: int
+    lane: int
+    bit: int
+    at_issue: int  # global issue-slot index
+
+
+@dataclass
+class Warp:
+    """One warp's architectural state."""
+
+    wid: int
+    size: int
+    pc: int = 0
+    active_mask: int = 0
+    regs: list[list[int]] = field(default_factory=list)
+    done: bool = False
+    stack: list[tuple[int, int]] = field(default_factory=list)  # (rejoin pc, mask)
+
+
+class SimtCore:
+    """The SIMT core: warps × lanes over a shared global memory."""
+
+    def __init__(self, kernel: list[SimtIns], n_warps: int = 2,
+                 warp_size: int = 8, mem_words: int = 256,
+                 n_regs: int = 8) -> None:
+        self.kernel = kernel
+        self.warp_size = warp_size
+        self.memory = [0] * mem_words
+        self.warps = []
+        for w in range(n_warps):
+            warp = Warp(w, warp_size, active_mask=(1 << warp_size) - 1,
+                        regs=[[0] * n_regs for _ in range(warp_size)])
+            self.warps.append(warp)
+        self.faults: list[object] = []
+        self.issue_count = 0
+        self.schedule_trace: list[int] = []
+
+    def inject(self, fault: object) -> None:
+        self.faults.append(fault)
+
+    # ------------------------------------------------------------------
+    def _next_warp(self, rr_pointer: int) -> Warp | None:
+        order = [(rr_pointer + i) % len(self.warps) for i in range(len(self.warps))]
+        for idx in order:
+            warp = self.warps[idx]
+            if warp.done:
+                continue
+            chosen = warp
+            for fault in self.faults:
+                if isinstance(fault, SchedulerFault):
+                    if fault.kind == "starve" and chosen.wid == fault.victim:
+                        chosen = None
+                    elif (fault.kind == "hijack" and chosen is not None
+                          and chosen.wid == fault.victim):
+                        impostor = self.warps[fault.impostor % len(self.warps)]
+                        if not impostor.done:
+                            chosen = impostor
+            if chosen is not None:
+                return chosen
+        return None
+
+    def _effective_mask(self, warp: Warp) -> int:
+        mask = warp.active_mask
+        for fault in self.faults:
+            if isinstance(fault, MaskFault) and fault.warp == warp.wid:
+                if fault.stuck_to:
+                    mask |= 1 << fault.lane
+                else:
+                    mask &= ~(1 << fault.lane)
+        return mask & ((1 << warp.size) - 1)
+
+    def _writeback(self, warp: Warp, lane: int, value: int) -> int:
+        for fault in self.faults:
+            if (isinstance(fault, PipeRegFault) and fault.warp == warp.wid
+                    and fault.lane == lane and fault.at_issue == self.issue_count):
+                value ^= 1 << fault.bit
+        return value & WORD
+
+    # ------------------------------------------------------------------
+    def run(self, max_issues: int = 10_000) -> int:
+        """Execute until all warps halt; returns issue slots consumed."""
+        rr = 0
+        start = self.issue_count
+        while self.issue_count - start < max_issues:
+            warp = self._next_warp(rr)
+            if warp is None:
+                break
+            rr = (warp.wid + 1) % len(self.warps)
+            self.schedule_trace.append(warp.wid)
+            self._issue(warp)
+            self.issue_count += 1
+        return self.issue_count - start
+
+    def _issue(self, warp: Warp) -> None:
+        if warp.pc >= len(self.kernel):
+            warp.done = True
+            return
+        ins = self.kernel[warp.pc]
+        mask = self._effective_mask(warp)
+        next_pc = warp.pc + 1
+        if ins.op == "halt":
+            warp.done = True
+            return
+        if ins.op == "jump":
+            warp.pc = ins.imm
+            return
+        if ins.op == "branch_ez":
+            # per-thread predicate; divergence via stack
+            taken_mask = 0
+            for lane in range(warp.size):
+                if not (mask >> lane) & 1:
+                    continue
+                if warp.regs[lane][ins.a] == 0:
+                    taken_mask |= 1 << lane
+            fallthrough_mask = mask & ~taken_mask
+            if taken_mask and fallthrough_mask:
+                # execute fallthrough first, then the taken side
+                warp.stack.append((ins.imm, taken_mask))
+                warp.active_mask = fallthrough_mask
+                warp.pc = next_pc
+            elif taken_mask:
+                warp.pc = ins.imm
+            else:
+                warp.pc = next_pc
+            return
+        for lane in range(warp.size):
+            if not (mask >> lane) & 1:
+                continue
+            self._lane_exec(warp, lane, ins)
+        warp.pc = next_pc
+        # reconvergence: a lane partition finished when pc reaches rejoin
+        while warp.stack and warp.pc == warp.stack[-1][0]:
+            rejoin_pc, other_mask = warp.stack.pop()
+            warp.active_mask |= other_mask
+            del rejoin_pc
+
+    def _lane_exec(self, warp: Warp, lane: int, ins: SimtIns) -> None:
+        regs = warp.regs[lane]
+        op = ins.op
+        if op == "tid":
+            value = warp.wid * warp.size + lane
+        elif op == "addi":
+            value = (regs[ins.a] + ins.imm) & WORD
+        elif op == "ldg":
+            addr = (regs[ins.a] + ins.imm) % len(self.memory)
+            value = self.memory[addr]
+        elif op == "stg":
+            addr = (regs[ins.a] + ins.imm) % len(self.memory)
+            self.memory[addr] = self._writeback(warp, lane, regs[ins.dst])
+            return
+        elif op == "slt":
+            value = 1 if regs[ins.a] < regs[ins.b] else 0
+        elif op == "add":
+            value = (regs[ins.a] + regs[ins.b]) & WORD
+        elif op == "sub":
+            value = (regs[ins.a] - regs[ins.b]) & WORD
+        elif op == "mul":
+            value = (regs[ins.a] * regs[ins.b]) & WORD
+        elif op == "and":
+            value = regs[ins.a] & regs[ins.b]
+        elif op == "or":
+            value = regs[ins.a] | regs[ins.b]
+        elif op == "xor":
+            value = regs[ins.a] ^ regs[ins.b]
+        else:  # pragma: no cover - op set is closed
+            raise ValueError(op)
+        regs[ins.dst] = self._writeback(warp, lane, value)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_threads(self) -> int:
+        return len(self.warps) * self.warp_size

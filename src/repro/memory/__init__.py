@@ -1,0 +1,70 @@
+"""FinFET SRAM quality/reliability: devices, cells, defects, march, DFT."""
+
+from .defects import (
+    DEVICE_SITES,
+    DefectKind,
+    InjectedDefect,
+    inject_defect,
+    seed_defect_population,
+)
+from .dft import (
+    CombinedTestReport,
+    CurrentSensorConfig,
+    DftResult,
+    combined_test,
+    current_sweep,
+)
+from .finfet import (
+    DefectType,
+    FinFet,
+    classify_severity,
+    pristine,
+    with_bent_fin,
+    with_fin_crack,
+    with_gate_damage,
+)
+from .march import (
+    ALGORITHMS,
+    MARCH_C_MINUS,
+    MARCH_SS,
+    MATS_PLUS,
+    MarchElement,
+    MarchResult,
+    MarchTest,
+    Order,
+    march_coverage,
+    run_march,
+)
+from .sram import SramArray, SramCell
+
+__all__ = [
+    "ALGORITHMS",
+    "CombinedTestReport",
+    "CurrentSensorConfig",
+    "DEVICE_SITES",
+    "DefectKind",
+    "DefectType",
+    "DftResult",
+    "FinFet",
+    "InjectedDefect",
+    "MARCH_C_MINUS",
+    "MARCH_SS",
+    "MATS_PLUS",
+    "MarchElement",
+    "MarchResult",
+    "MarchTest",
+    "Order",
+    "SramArray",
+    "SramCell",
+    "classify_severity",
+    "combined_test",
+    "current_sweep",
+    "inject_defect",
+    "march_coverage",
+    "pristine",
+    "run_march",
+    "seed_defect_population",
+    "with_bent_fin",
+    "with_fin_crack",
+    "with_gate_damage",
+]

@@ -1,0 +1,131 @@
+"""Defect injection into SRAM cells (III.E, [10][26][27]).
+
+Maps physical defects — resistive opens/bridges and the FinFET-specific
+fin cracks / bent fins — onto device-parameter perturbations of a 6T
+cell.  The injection API returns the *expected severity class* so tests
+and benches can check that march tests catch the hard class while the
+current-sensor DFT catches the weak (hard-to-detect) class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from .finfet import FinFet, with_bent_fin, with_fin_crack, with_gate_damage
+from .sram import SramArray, SramCell
+
+
+class DefectKind(str, Enum):
+    FIN_CRACK_FULL = "fin_crack_full"       # hard: device loses most drive
+    FIN_CRACK_PARTIAL = "fin_crack_partial" # weak: parametric drive loss
+    BENT_FIN = "bent_fin"                   # weak: Vth shift + leakage
+    RESISTIVE_OPEN = "resistive_open"       # hard or weak by resistance
+    GATE_DAMAGE = "gate_damage"             # hard
+
+
+DEVICE_SITES = ("pull_up_l", "pull_up_r", "pull_down_l", "pull_down_r",
+                "pass_gate_l", "pass_gate_r")
+
+
+@dataclass(frozen=True)
+class InjectedDefect:
+    """Record of one injected defect."""
+
+    cell_name: str
+    site: str
+    kind: DefectKind
+    severity: float
+    expected_class: str  # "hard" | "weak"
+
+
+def _open_as_crack(device: FinFet, resistance_ohm: float) -> tuple[FinFet, float]:
+    """A resistive open in series with a device throttles its drive.
+
+    I_eff = I_on / (1 + R/R0) with R0 the device's own on-resistance
+    scale; we fold that into an equivalent integrity loss.
+    """
+    r0 = 5_000.0
+    factor = 1.0 / (1.0 + resistance_ohm / r0)
+    severity = 1.0 - factor
+    return with_fin_crack(device, min(0.999, max(1e-3, severity))), severity
+
+
+def inject_defect(
+    cell: SramCell,
+    site: str,
+    kind: DefectKind,
+    magnitude: float,
+) -> InjectedDefect:
+    """Inject one defect into ``cell`` at ``site``.
+
+    ``magnitude`` meaning per kind: crack/bend severity in (0, 1], or the
+    open resistance in ohms for RESISTIVE_OPEN.
+    """
+    if site not in DEVICE_SITES:
+        raise ValueError(f"unknown device site {site!r}")
+    device: FinFet = getattr(cell, site)
+    if kind is DefectKind.FIN_CRACK_FULL:
+        new_dev = with_fin_crack(device, max(0.8, magnitude))
+        expected = "hard"
+    elif kind is DefectKind.FIN_CRACK_PARTIAL:
+        new_dev = with_fin_crack(device, min(0.45, max(0.05, magnitude)))
+        expected = "weak"
+    elif kind is DefectKind.BENT_FIN:
+        new_dev = with_bent_fin(device, min(1.0, max(0.05, magnitude)))
+        expected = "weak"
+    elif kind is DefectKind.GATE_DAMAGE:
+        new_dev = with_gate_damage(device)
+        expected = "hard"
+    else:  # RESISTIVE_OPEN
+        new_dev, severity = _open_as_crack(device, magnitude)
+        expected = "hard" if severity > 0.65 else "weak"
+    setattr(cell, site, new_dev)
+    return InjectedDefect(cell.name, site, kind, magnitude, expected)
+
+
+def seed_defect_population(
+    array: SramArray,
+    n_hard: int = 4,
+    n_weak: int = 6,
+    seed: int = 0,
+) -> list[InjectedDefect]:
+    """Scatter a mixed hard/weak defect population over an array.
+
+    Hard defects go preferentially into pull-downs and pass-gates (where
+    drive loss breaks reads); weak ones are spread over all sites.
+    Deterministic per seed; each cell receives at most one defect.
+    """
+    rng = random.Random(seed)
+    coords = [(r, c) for r in range(array.rows) for c in range(array.cols)]
+    rng.shuffle(coords)
+    injected: list[InjectedDefect] = []
+    hard_kinds = [DefectKind.FIN_CRACK_FULL, DefectKind.GATE_DAMAGE,
+                  DefectKind.RESISTIVE_OPEN]
+    weak_kinds = [DefectKind.FIN_CRACK_PARTIAL, DefectKind.BENT_FIN,
+                  DefectKind.RESISTIVE_OPEN]
+    idx = 0
+    for _ in range(n_hard):
+        row, col = coords[idx]
+        idx += 1
+        kind = rng.choice(hard_kinds)
+        magnitude = 0.95 if kind is not DefectKind.RESISTIVE_OPEN \
+            else rng.uniform(60_000, 200_000)
+        site = rng.choice(("pull_down_l", "pull_down_r",
+                           "pass_gate_l", "pass_gate_r"))
+        injected.append(inject_defect(array.cell(row, col), site, kind, magnitude))
+    # weak (parametric) defects land on the pass gates: the read stack is
+    # pass-gate-limited (single fin vs the double-fin pull-down), so that
+    # is where a partial defect actually moves the sensed current — the
+    # [10]/[27] target population
+    read_path_sites = ("pass_gate_l", "pass_gate_r")
+    for _ in range(n_weak):
+        row, col = coords[idx]
+        idx += 1
+        kind = rng.choice(weak_kinds)
+        magnitude = rng.uniform(0.15, 0.4) if kind is not DefectKind.RESISTIVE_OPEN \
+            else rng.uniform(1_500, 6_000)
+        site = rng.choice(read_path_sites)
+        injected.append(inject_defect(array.cell(row, col), site, kind, magnitude))
+    return injected

@@ -1,0 +1,140 @@
+"""March-test engine for SRAM arrays.
+
+March tests are the industry-standard functional memory tests: a
+sequence of *march elements*, each an address sweep (up ⇑, down ⇓, or
+either ⇕) applying read/write operations per cell.  Implemented
+algorithms:
+
+* **MATS+**       — ⇕(w0) ⇑(r0,w1) ⇓(r1,w0): address faults + SAFs
+* **March C-**    — the classic 10N test for SAF/TF/CF
+* **March SS**    — a longer sequence with read-after-read elements that
+  also catches some read-destructive (stability) faults
+
+The engine reports every observed mismatch with its (element, address)
+location — the raw material for fault localization — and the bench
+compares its coverage per defect class against the DFT scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+from .sram import SramArray
+
+
+class Order(str, Enum):
+    UP = "up"
+    DOWN = "down"
+    ANY = "any"
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One address sweep with an operation list like ('r0', 'w1')."""
+
+    order: Order
+    operations: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for op in self.operations:
+            if op[0] not in "rw" or op[1:] not in ("0", "1"):
+                raise ValueError(f"bad march operation {op!r}")
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named sequence of march elements."""
+
+    name: str
+    elements: tuple[MarchElement, ...]
+
+    @property
+    def complexity(self) -> int:
+        """Operations per cell (the xN in '10N' nomenclature)."""
+        return sum(len(e.operations) for e in self.elements)
+
+
+def _el(order: Order, *ops: str) -> MarchElement:
+    return MarchElement(order, tuple(ops))
+
+
+MATS_PLUS = MarchTest("MATS+", (
+    _el(Order.ANY, "w0"),
+    _el(Order.UP, "r0", "w1"),
+    _el(Order.DOWN, "r1", "w0"),
+))
+
+MARCH_C_MINUS = MarchTest("March C-", (
+    _el(Order.ANY, "w0"),
+    _el(Order.UP, "r0", "w1"),
+    _el(Order.UP, "r1", "w0"),
+    _el(Order.DOWN, "r0", "w1"),
+    _el(Order.DOWN, "r1", "w0"),
+    _el(Order.ANY, "r0"),
+))
+
+MARCH_SS = MarchTest("March SS", (
+    _el(Order.ANY, "w0"),
+    _el(Order.UP, "r0", "r0", "w0", "r0", "w1"),
+    _el(Order.UP, "r1", "r1", "w1", "r1", "w0"),
+    _el(Order.DOWN, "r0", "r0", "w0", "r0", "w1"),
+    _el(Order.DOWN, "r1", "r1", "w1", "r1", "w0"),
+    _el(Order.ANY, "r0"),
+))
+
+ALGORITHMS: dict[str, MarchTest] = {
+    t.name: t for t in (MATS_PLUS, MARCH_C_MINUS, MARCH_SS)
+}
+
+
+@dataclass
+class MarchResult:
+    """Mismatches found by a march run."""
+
+    test_name: str
+    mismatches: list[tuple[int, int, int, str]] = field(default_factory=list)
+    # (element index, row, col, operation)
+    operations: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatches
+
+    def failing_cells(self) -> set[str]:
+        return {f"c{r}_{c}" for _e, r, c, _op in self.mismatches}
+
+
+def run_march(array: SramArray, test: MarchTest) -> MarchResult:
+    """Execute a march test on an array; collect read mismatches."""
+    result = MarchResult(test.name)
+    coords_up = [(r, c) for r in range(array.rows) for c in range(array.cols)]
+    for e_idx, element in enumerate(test.elements):
+        coords = coords_up if element.order is not Order.DOWN \
+            else list(reversed(coords_up))
+        for row, col in coords:
+            for op in element.operations:
+                expect = int(op[1])
+                result.operations += 1
+                if op[0] == "w":
+                    array.write(row, col, expect)
+                else:
+                    got = array.read(row, col)
+                    if got != expect:
+                        result.mismatches.append((e_idx, row, col, op))
+    return result
+
+
+def march_coverage(
+    array: SramArray,
+    defect_cells: Sequence[str],
+    test: MarchTest,
+) -> tuple[float, MarchResult]:
+    """Fraction of defective cells whose defects the march test exposes."""
+    result = run_march(array, test)
+    if not defect_cells:
+        return 1.0, result
+    failing = result.failing_cells()
+    caught = sum(1 for name in defect_cells if name in failing)
+    return caught / len(defect_cells), result

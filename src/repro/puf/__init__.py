@@ -1,0 +1,59 @@
+"""PUFs: SRAM power-up simulation, metrics, analytics, fuzzy extraction."""
+
+from .analytical import (
+    dark_bit_gain,
+    effective_noise,
+    expected_ber,
+    predicted_intra_hd,
+    predicted_key_failure,
+)
+from .fuzzy import (
+    FuzzyExtractor,
+    FuzzyExtractorConfig,
+    HelperData,
+    key_failure_rate,
+)
+from .metrics import (
+    PufScorecard,
+    bit_aliasing,
+    fractional_hd,
+    inter_device_hd,
+    intra_device_hd,
+    min_entropy_per_bit,
+    scorecard,
+    uniformity,
+)
+from .sram_puf import (
+    FINFET_16NM,
+    PLANAR_28NM,
+    TECHNOLOGIES,
+    PufTechnology,
+    SramPuf,
+    make_population,
+)
+
+__all__ = [
+    "FINFET_16NM",
+    "FuzzyExtractor",
+    "FuzzyExtractorConfig",
+    "HelperData",
+    "PLANAR_28NM",
+    "PufScorecard",
+    "PufTechnology",
+    "SramPuf",
+    "TECHNOLOGIES",
+    "bit_aliasing",
+    "dark_bit_gain",
+    "effective_noise",
+    "expected_ber",
+    "fractional_hd",
+    "inter_device_hd",
+    "intra_device_hd",
+    "key_failure_rate",
+    "make_population",
+    "min_entropy_per_bit",
+    "predicted_intra_hd",
+    "predicted_key_failure",
+    "scorecard",
+    "uniformity",
+]

@@ -1,0 +1,120 @@
+"""Fuzzy extractor: reliable keys from noisy PUF responses.
+
+The code-offset construction with a concatenated code:
+
+* outer code: Hamming(7,4) SEC (from ``repro.ftol.ecc``);
+* inner code: n-fold repetition (majority decode),
+
+so each 4-bit key nibble costs 7·n response bits and survives one
+repetition-block failure per Hamming codeword.  ``helper = C(k) ⊕ r``
+is stored publicly at enrollment; reconstruction decodes
+``helper ⊕ r' = C(k) ⊕ e`` where ``e`` is the response noise.
+The key itself is ``SHA-256(k)`` — helper data leaks nothing about it
+beyond code structure (information-theoretic argument of the scheme).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ftol.ecc import Hamming
+
+
+@dataclass
+class FuzzyExtractorConfig:
+    key_nibbles: int = 32        # 4 bits each -> 128-bit key material
+    repetition: int = 5
+
+    @property
+    def response_bits(self) -> int:
+        return self.key_nibbles * 7 * self.repetition
+
+
+@dataclass
+class HelperData:
+    """Public helper data stored at enrollment."""
+
+    offset: np.ndarray           # codeword XOR response
+    config: FuzzyExtractorConfig
+
+
+class FuzzyExtractor:
+    """Code-offset fuzzy extractor over Hamming(7,4) × repetition."""
+
+    def __init__(self, config: FuzzyExtractorConfig | None = None) -> None:
+        self.config = config or FuzzyExtractorConfig()
+        self.hamming = Hamming(4, extended=False)
+
+    # ------------------------------------------------------------------
+    def _encode(self, nibbles: list[int]) -> np.ndarray:
+        bits: list[int] = []
+        for nib in nibbles:
+            codeword = self.hamming.encode(nib)
+            for b in range(7):
+                bit = (codeword >> b) & 1
+                bits.extend([bit] * self.config.repetition)
+        return np.array(bits, dtype=np.uint8)
+
+    def _decode(self, bits: np.ndarray) -> list[int]:
+        rep = self.config.repetition
+        nibbles = []
+        pos = 0
+        for _ in range(self.config.key_nibbles):
+            codeword = 0
+            for b in range(7):
+                chunk = bits[pos:pos + rep]
+                pos += rep
+                if int(chunk.sum()) * 2 > rep:
+                    codeword |= 1 << b
+            nibbles.append(self.hamming.decode(codeword).data)
+        return nibbles
+
+    # ------------------------------------------------------------------
+    def enroll(self, response: np.ndarray, secret_seed: int = 0) -> tuple[bytes, HelperData]:
+        """Generate (key, helper) from an enrollment response."""
+        need = self.config.response_bits
+        if len(response) < need:
+            raise ValueError(f"need {need} response bits, got {len(response)}")
+        rng = np.random.default_rng(secret_seed)
+        nibbles = [int(x) for x in rng.integers(0, 16, self.config.key_nibbles)]
+        codeword = self._encode(nibbles)
+        offset = codeword ^ response[:need]
+        key = self._key_from_nibbles(nibbles)
+        return key, HelperData(offset, self.config)
+
+    def reconstruct(self, noisy_response: np.ndarray, helper: HelperData) -> bytes:
+        """Recover the key from a later (noisy) readout plus helper data."""
+        need = helper.config.response_bits
+        if len(noisy_response) < need:
+            raise ValueError(f"need {need} response bits")
+        noisy_codeword = helper.offset ^ noisy_response[:need]
+        nibbles = self._decode(noisy_codeword)
+        return self._key_from_nibbles(nibbles)
+
+    @staticmethod
+    def _key_from_nibbles(nibbles: list[int]) -> bytes:
+        packed = bytearray()
+        for i in range(0, len(nibbles) - 1, 2):
+            packed.append((nibbles[i] << 4) | nibbles[i + 1])
+        return hashlib.sha256(bytes(packed)).digest()
+
+
+def key_failure_rate(
+    puf,
+    helper: HelperData,
+    key: bytes,
+    extractor: FuzzyExtractor,
+    n_trials: int = 50,
+    temp_c: float = 25.0,
+    vdd: float = 0.8,
+) -> float:
+    """Fraction of reconstructions that fail at the given conditions."""
+    failures = 0
+    for _ in range(n_trials):
+        response = puf.power_up(temp_c, vdd)
+        if extractor.reconstruct(response, helper) != key:
+            failures += 1
+    return failures / n_trials

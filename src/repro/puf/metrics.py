@@ -1,0 +1,116 @@
+"""PUF quality metrics: reliability, uniqueness, uniformity, entropy.
+
+The standard figure-of-merit set for "reliability and entropy
+performance" (paper III.F):
+
+* **intra-device HD** (reliability): fractional Hamming distance between
+  a device's enrollment response and later readouts — want ≈ 0;
+* **inter-device HD** (uniqueness): fractional HD between *different*
+  devices — want ≈ 0.5;
+* **uniformity**: fraction of 1-bits per device — want ≈ 0.5;
+* **bit-aliasing**: per-bit-position mean across devices — positions
+  stuck at 0/1 across the population leak structure;
+* **min-entropy**: −log2(max(p, 1−p)) averaged over positions, the
+  conservative key-material bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .sram_puf import SramPuf
+
+
+def fractional_hd(a: np.ndarray, b: np.ndarray) -> float:
+    """Hamming distance / length for two bit arrays."""
+    if a.shape != b.shape:
+        raise ValueError("responses must have equal length")
+    return float(np.mean(a != b))
+
+
+def intra_device_hd(
+    puf: SramPuf,
+    n_readouts: int = 20,
+    temp_c: float = 25.0,
+    vdd: float = 0.8,
+) -> float:
+    """Mean fractional HD between enrollment and repeated readouts."""
+    reference = puf.reference_response()
+    distances = [
+        fractional_hd(reference, puf.power_up(temp_c, vdd))
+        for _ in range(n_readouts)
+    ]
+    return float(np.mean(distances))
+
+
+def inter_device_hd(pufs: list[SramPuf]) -> float:
+    """Mean pairwise fractional HD between device references."""
+    refs = [p.reference_response() for p in pufs]
+    distances = []
+    for i in range(len(refs)):
+        for j in range(i + 1, len(refs)):
+            distances.append(fractional_hd(refs[i], refs[j]))
+    return float(np.mean(distances)) if distances else 0.0
+
+
+def uniformity(puf: SramPuf) -> float:
+    """Fraction of ones in the reference response."""
+    return float(np.mean(puf.reference_response()))
+
+
+def bit_aliasing(pufs: list[SramPuf]) -> np.ndarray:
+    """Per-position mean across the population (want ≈ 0.5 everywhere)."""
+    refs = np.stack([p.reference_response() for p in pufs])
+    return refs.mean(axis=0)
+
+
+def min_entropy_per_bit(pufs: list[SramPuf]) -> float:
+    """Average min-entropy per position from population statistics."""
+    alias = bit_aliasing(pufs)
+    p_max = np.maximum(alias, 1.0 - alias)
+    p_max = np.clip(p_max, 1e-12, 1.0)
+    return float(np.mean(-np.log2(p_max)))
+
+
+@dataclass
+class PufScorecard:
+    """The metric set for one technology/population."""
+
+    technology: str
+    intra_hd_25c: float
+    intra_hd_hot: float
+    intra_hd_cold: float
+    inter_hd: float
+    uniformity: float
+    min_entropy: float
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            ("intra-HD @25C (reliability)", self.intra_hd_25c),
+            ("intra-HD @85C", self.intra_hd_hot),
+            ("intra-HD @-40C", self.intra_hd_cold),
+            ("inter-HD (uniqueness)", self.inter_hd),
+            ("uniformity", self.uniformity),
+            ("min-entropy/bit", self.min_entropy),
+        ]
+
+
+def scorecard(pufs: list[SramPuf], n_readouts: int = 10) -> PufScorecard:
+    """Full evaluation of a device population."""
+    if not pufs:
+        raise ValueError("empty population")
+    sample = pufs[0]
+    return PufScorecard(
+        technology=sample.technology.name,
+        intra_hd_25c=float(np.mean([
+            intra_device_hd(p, n_readouts, 25.0) for p in pufs])),
+        intra_hd_hot=float(np.mean([
+            intra_device_hd(p, n_readouts, 85.0) for p in pufs])),
+        intra_hd_cold=float(np.mean([
+            intra_device_hd(p, n_readouts, -40.0) for p in pufs])),
+        inter_hd=inter_device_hd(pufs),
+        uniformity=float(np.mean([uniformity(p) for p in pufs])),
+        min_entropy=min_entropy_per_bit(pufs),
+    )

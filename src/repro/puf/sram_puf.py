@@ -1,0 +1,105 @@
+"""SRAM PUF simulation framework (III.F, [6] and the FinFET PUF thrust).
+
+An SRAM cell's power-up state is decided by the threshold-voltage
+mismatch between its cross-coupled inverters: a large |mismatch| gives a
+stable, device-unique bit; a small one lets thermal noise decide.  The
+simulation models each cell as
+
+    bit = sign(mismatch + temp_coeff·ΔT + vdd_coeff·ΔV + noise)
+
+with per-cell ``mismatch``/``temp_coeff``/``vdd_coeff`` drawn once from
+device distributions (the *identity*) and fresh ``noise`` per power-up.
+
+Technology presets capture the paper's motivation to "validate PUF
+designs under these emerging technologies": FinFET fins quantize device
+width, strengthening mismatch relative to noise — a better PUF — while
+planar bulk shows more marginal cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PufTechnology:
+    """Distribution parameters of one technology node."""
+
+    name: str
+    sigma_mismatch_mv: float   # inter-device Vth mismatch spread
+    sigma_noise_mv: float      # per-power-up thermal noise
+    sigma_temp_uv_per_c: float # per-cell temperature sensitivity spread
+    sigma_vdd_mv_per_v: float  # per-cell supply sensitivity spread
+
+
+PLANAR_28NM = PufTechnology("planar_28nm", sigma_mismatch_mv=30.0,
+                            sigma_noise_mv=3.5, sigma_temp_uv_per_c=120.0,
+                            sigma_vdd_mv_per_v=18.0)
+FINFET_16NM = PufTechnology("finfet_16nm", sigma_mismatch_mv=45.0,
+                            sigma_noise_mv=2.5, sigma_temp_uv_per_c=80.0,
+                            sigma_vdd_mv_per_v=12.0)
+
+TECHNOLOGIES = {t.name: t for t in (PLANAR_28NM, FINFET_16NM)}
+
+
+@dataclass
+class SramPuf:
+    """One physical PUF instance (a device's SRAM power-up identity)."""
+
+    n_bits: int
+    technology: PufTechnology
+    device_seed: int
+    mismatch: np.ndarray = field(init=False)
+    temp_coeff: np.ndarray = field(init=False)
+    vdd_coeff: np.ndarray = field(init=False)
+    _noise_counter: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.device_seed)
+        tech = self.technology
+        self.mismatch = rng.normal(0.0, tech.sigma_mismatch_mv, self.n_bits)
+        self.temp_coeff = rng.normal(0.0, tech.sigma_temp_uv_per_c / 1000.0,
+                                     self.n_bits)
+        self.vdd_coeff = rng.normal(0.0, tech.sigma_vdd_mv_per_v, self.n_bits)
+
+    def power_up(self, temp_c: float = 25.0, vdd: float = 0.8,
+                 noise_seed: int | None = None) -> np.ndarray:
+        """One power-up readout: array of bits (uint8)."""
+        if noise_seed is None:
+            noise_seed = self._noise_counter
+            self._noise_counter += 1
+        rng = np.random.default_rng((self.device_seed << 20) ^ noise_seed)
+        noise = rng.normal(0.0, self.technology.sigma_noise_mv, self.n_bits)
+        decision = (self.mismatch
+                    + self.temp_coeff * (temp_c - 25.0)
+                    + self.vdd_coeff * (vdd - 0.8)
+                    + noise)
+        return (decision > 0).astype(np.uint8)
+
+    def reference_response(self, temp_c: float = 25.0, vdd: float = 0.8,
+                           votes: int = 15) -> np.ndarray:
+        """Majority-voted enrollment response (standard golden readout)."""
+        acc = np.zeros(self.n_bits, dtype=int)
+        for v in range(votes):
+            acc += self.power_up(temp_c, vdd, noise_seed=1_000_000 + v)
+        return (acc * 2 > votes).astype(np.uint8)
+
+    def stability_mask(self, threshold_mv: float | None = None) -> np.ndarray:
+        """Cells whose |mismatch| clears a stability threshold (dark-bit
+        masking — the standard pre-selection used before key storage)."""
+        if threshold_mv is None:
+            threshold_mv = 3.0 * self.technology.sigma_noise_mv
+        return (np.abs(self.mismatch) > threshold_mv)
+
+
+def make_population(
+    n_devices: int,
+    n_bits: int,
+    technology: PufTechnology = FINFET_16NM,
+    base_seed: int = 0,
+) -> list[SramPuf]:
+    """A population of distinct devices (for uniqueness statistics)."""
+    return [SramPuf(n_bits, technology, base_seed * 10_007 + i * 65_537 + 1)
+            for i in range(n_devices)]

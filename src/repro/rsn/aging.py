@@ -1,0 +1,135 @@
+"""NBTI aging of reconfigurable scan networks (III.E, [36]).
+
+Scan-network cells are pathological NBTI victims: a SIB that is never
+opened holds a constant 0 for the entire mission; an idle TDR holds
+whatever was last shifted.  [36] analyzes this duty-cycle pathology in
+IEEE 1687 networks and its impact on the shift-path timing.
+
+The model: a usage profile gives the fraction of mission time each
+configuration is active; cells accumulate *stress duty* = time-weighted
+|P(high) − 0.5| · 2.  The shift path's maximum frequency degrades with
+the worst aged cell on it.  Mitigation follows the paper's logic:
+periodically shifting a balanced dummy pattern through idle segments
+pulls every cell's duty toward 0.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..aging.bti import BtiModel, SECONDS_PER_YEAR
+from ..aging.delay import DelayModel
+from .network import RSN, Mux, Reg, Sib
+
+
+@dataclass
+class RsnAgingReport:
+    """Per-cell stress duties and the shift-path delay outcome."""
+
+    years: float
+    cell_stress: dict[str, float] = field(default_factory=dict)
+    cell_delta_vth: dict[str, float] = field(default_factory=dict)
+    slowdown_per_cell: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def worst_cell(self) -> tuple[str, float]:
+        if not self.slowdown_per_cell:
+            return ("", 1.0)
+        name = max(self.slowdown_per_cell, key=self.slowdown_per_cell.get)
+        return name, self.slowdown_per_cell[name]
+
+    @property
+    def max_shift_slowdown(self) -> float:
+        """The shift clock is limited by the slowest cell on the path."""
+        return max(self.slowdown_per_cell.values(), default=1.0)
+
+    def frequency_loss_percent(self) -> float:
+        return 100.0 * (1.0 - 1.0 / self.max_shift_slowdown)
+
+
+def occupancy_duties(
+    network: RSN,
+    selected_fraction: Mapping[str, float],
+    idle_value_bias: float = 1.0,
+) -> dict[str, float]:
+    """Per-cell stress duty from a segment-usage profile.
+
+    ``selected_fraction`` maps SIB names to the fraction of time their
+    segment is part of the active path (the rest of the time its cells
+    hold a static value).  ``idle_value_bias`` is the probability that
+    the held value stresses the device (1.0 = worst case, held at the
+    stressing polarity; 0.5 = a lucky balanced park value).
+
+    While *active*, shifting traffic gives cells ≈0.5 signal probability
+    (stress duty 0); while *idle*, stress duty is ``idle_value_bias``.
+    """
+    duties: dict[str, float] = {}
+    for name, node in network.registry.items():
+        if isinstance(node, Mux):
+            continue
+        active = selected_fraction.get(name, 0.0)
+        if isinstance(node, Sib):
+            # the SIB cell itself is always on the path; its latch is the
+            # static signal: closed SIBs hold constant 0 (full stress)
+            open_frac = selected_fraction.get(name, 0.0)
+            duties[name] = (1.0 - open_frac) * idle_value_bias
+        else:
+            assert isinstance(node, Reg)
+            duties[name] = (1.0 - active) * idle_value_bias
+    return duties
+
+
+def age_network(
+    network: RSN,
+    selected_fraction: Mapping[str, float],
+    years: float = 10.0,
+    temp_c: float = 85.0,
+    idle_value_bias: float = 1.0,
+    bti: BtiModel | None = None,
+    delay_model: DelayModel | None = None,
+) -> RsnAgingReport:
+    """Full aging analysis of a network under a usage profile."""
+    bti = bti or BtiModel()
+    dm = delay_model or DelayModel()
+    report = RsnAgingReport(years=years)
+    report.cell_stress = occupancy_duties(network, selected_fraction,
+                                          idle_value_bias)
+    seconds = years * SECONDS_PER_YEAR
+    for name, stress in report.cell_stress.items():
+        dvth = bti.delta_vth(seconds, stress, temp_c)
+        report.cell_delta_vth[name] = dvth
+        report.slowdown_per_cell[name] = dm.slowdown(dvth)
+    return report
+
+
+def mitigate_with_dummy_cycles(
+    network: RSN,
+    selected_fraction: Mapping[str, float],
+    dummy_fraction: float = 0.1,
+    years: float = 10.0,
+    temp_c: float = 85.0,
+) -> tuple[RsnAgingReport, RsnAgingReport]:
+    """Before/after comparison for the dummy-pattern mitigation.
+
+    Spending ``dummy_fraction`` of time shifting balanced patterns through
+    *all* segments converts that fraction of each cell's idle time into
+    balanced activity: stress duty scales by (1 − dummy_fraction) and the
+    idle park value is refreshed to a balanced one (bias → 0.5) for the
+    remaining idle time.
+    """
+    if not 0 <= dummy_fraction < 1:
+        raise ValueError("dummy_fraction must be in [0, 1)")
+    before = age_network(network, selected_fraction, years, temp_c,
+                         idle_value_bias=1.0)
+    mitigated_profile = {
+        name: min(1.0, frac + dummy_fraction)
+        for name, frac in selected_fraction.items()
+    }
+    # any SIB never selected still gets toggled during dummy cycles
+    for name, node in network.registry.items():
+        if isinstance(node, (Sib, Reg)):
+            mitigated_profile.setdefault(name, dummy_fraction)
+    after = age_network(network, mitigated_profile, years, temp_c,
+                        idle_value_bias=0.5)
+    return before, after

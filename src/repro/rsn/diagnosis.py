@@ -1,0 +1,125 @@
+"""Fault diagnosis in reconfigurable scan networks (III.E, after [45]).
+
+Given the TDO streams observed from a failing part, diagnosis returns
+the set of candidate faults whose simulated signatures match.  The
+quality metric is *resolution*: the average candidate-set size over all
+faults (1.0 = perfect diagnosis).  [45] generates dedicated sequences to
+shrink that set; ``diagnostic_test`` here augments a base test with
+per-SIB discriminating vectors until resolution stops improving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .network import RSN
+from .retarget import build_vector
+from .test_gen import RsnTest, Step, apply_test, flush_pattern
+
+
+@dataclass
+class DiagnosisResult:
+    """Signature table and candidate sets."""
+
+    signatures: dict[object, tuple[int, ...]] = field(default_factory=dict)
+    golden_signature: tuple[int, ...] = ()
+
+    def candidates(self, observed: Sequence[int]) -> list[object]:
+        """Faults whose signature matches the observed stream."""
+        key = tuple(observed)
+        return [f for f, sig in self.signatures.items() if sig == key]
+
+    def resolution(self) -> float:
+        """Mean candidate-set size over all detectable faults (lower=better)."""
+        detectable = [f for f, sig in self.signatures.items()
+                      if sig != self.golden_signature]
+        if not detectable:
+            return 0.0
+        total = 0
+        for fault in detectable:
+            total += len(self.candidates(self.signatures[fault]))
+        return total / len(detectable)
+
+    def detected_fraction(self) -> float:
+        if not self.signatures:
+            return 1.0
+        detectable = sum(1 for sig in self.signatures.values()
+                         if sig != self.golden_signature)
+        return detectable / len(self.signatures)
+
+
+def build_signature_table(
+    factory: Callable[[], RSN],
+    faults: Sequence[object],
+    test: RsnTest,
+) -> DiagnosisResult:
+    """Simulate every fault under ``test`` and record its TDO signature."""
+    golden = factory()
+    golden.reset()
+    result = DiagnosisResult()
+    result.golden_signature = tuple(apply_test(golden, test))
+    for fault in faults:
+        faulty = factory()
+        faulty.reset()
+        faulty.inject(fault)
+        result.signatures[fault] = tuple(apply_test(faulty, test))
+    return result
+
+
+def diagnose(
+    factory: Callable[[], RSN],
+    faults: Sequence[object],
+    test: RsnTest,
+    observed: Sequence[int],
+) -> list[object]:
+    """Candidate faults for an observed response under ``test``."""
+    table = build_signature_table(factory, faults, test)
+    return table.candidates(observed)
+
+
+def diagnostic_test(
+    factory: Callable[[], RSN],
+    faults: Sequence[object],
+    base: RsnTest,
+    max_extra_rounds: int = 8,
+) -> tuple[RsnTest, DiagnosisResult]:
+    """Extend ``base`` with discriminating vectors until resolution stalls.
+
+    Each round appends, for the most ambiguous candidate class, a
+    configuration that toggles one SIB appearing in those faults plus a
+    flush — the classic divide-and-conquer refinement of [45].
+    """
+    test = RsnTest("diagnostic", [Step(list(s.bits), s.update) for s in base.steps])
+    table = build_signature_table(factory, faults, test)
+    best = table.resolution()
+    from .network import Sib  # local import to avoid cycle at module load
+
+    network = factory()
+    network.reset()
+    sib_names = [name for name, node in sorted(network.registry.items())
+                 if isinstance(node, Sib)]
+    for round_idx in range(max_extra_rounds):
+        if best <= 1.0 or not sib_names:
+            break
+        sib = sib_names[round_idx % len(sib_names)]
+        probe = factory()
+        probe.reset()
+        for step in test.steps:
+            probe.capture()
+            probe.shift(step.bits)
+            if step.update:
+                probe.update()
+        toggle = build_vector(probe, {sib: (round_idx + 1) % 2}, {})
+        extended = RsnTest(test.name,
+                           [Step(list(s.bits), s.update) for s in test.steps])
+        extended.add_config(toggle)
+        probe.csu(toggle)
+        extended.add_flush(flush_pattern(probe.path_length()))
+        candidate_table = build_signature_table(factory, faults, extended)
+        resolution = candidate_table.resolution()
+        if resolution < best:
+            best = resolution
+            test = extended
+            table = candidate_table
+    return test, table

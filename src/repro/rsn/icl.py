@@ -1,0 +1,121 @@
+"""A tiny ICL-like textual description of scan networks.
+
+IEEE 1687 describes networks in ICL (Instrument Connectivity Language);
+[47] checks ICL descriptions against RTL implementations by simulation.
+This module defines an indentation-structured subset sufficient for our
+networks, with a parser and emitter that round-trip exactly — the
+equivalence checker then compares a parsed description against a live
+:class:`~repro.rsn.network.RSN` instance.
+
+Format by example::
+
+    network demo
+      reg r1 8 reset=0x0f
+      sib s1
+        reg r2 4
+        mux m1 ctrl=r1
+          branch
+            reg r3 4
+          branch
+            reg r4 8
+"""
+
+from __future__ import annotations
+
+from .network import RSN, Mux, Reg, RsnError, Segment, Sib
+
+
+def emit_icl(network: RSN) -> str:
+    """Serialize a network to the ICL-like text form."""
+    lines = [f"network {network.name}"]
+
+    def emit_segment(segment: Segment, indent: int) -> None:
+        pad = "  " * indent
+        for node in segment.nodes:
+            if isinstance(node, Reg):
+                suffix = f" reset=0x{node.reset_value:x}" if node.reset_value else ""
+                lines.append(f"{pad}reg {node.name} {node.length}{suffix}")
+            elif isinstance(node, Sib):
+                lines.append(f"{pad}sib {node.name}")
+                emit_segment(node.child, indent + 1)
+            elif isinstance(node, Mux):
+                lines.append(f"{pad}mux {node.name} ctrl={node.control}")
+                for branch in node.branches:
+                    lines.append(f"{pad}  branch")
+                    emit_segment(branch, indent + 2)
+
+    emit_segment(network.top, 1)
+    return "\n".join(lines) + "\n"
+
+
+class IclParseError(RsnError):
+    """Raised on malformed ICL-like input."""
+
+
+def parse_icl(text: str) -> RSN:
+    """Parse the ICL-like form back into an :class:`RSN`."""
+    raw = [ln for ln in text.splitlines() if ln.strip() and not ln.strip().startswith("#")]
+    if not raw or not raw[0].strip().startswith("network "):
+        raise IclParseError("input must start with 'network <name>'")
+    name = raw[0].split(maxsplit=1)[1].strip()
+
+    entries: list[tuple[int, list[str]]] = []
+    for line in raw[1:]:
+        stripped = line.lstrip(" ")
+        indent_spaces = len(line) - len(stripped)
+        if indent_spaces % 2:
+            raise IclParseError(f"odd indentation in line {line!r}")
+        entries.append((indent_spaces // 2, stripped.split()))
+
+    pos = 0
+
+    def parse_segment(level: int) -> Segment:
+        nonlocal pos
+        nodes = []
+        while pos < len(entries):
+            indent, tokens = entries[pos]
+            if indent < level:
+                break
+            if indent > level:
+                raise IclParseError(f"unexpected indent at {' '.join(tokens)!r}")
+            keyword = tokens[0]
+            if keyword == "reg":
+                if len(tokens) < 3:
+                    raise IclParseError(f"reg needs name and length: {tokens}")
+                reset = 0
+                for tok in tokens[3:]:
+                    if tok.startswith("reset="):
+                        reset = int(tok.split("=", 1)[1], 0)
+                nodes.append(Reg(tokens[1], int(tokens[2]), reset_value=reset))
+                pos += 1
+            elif keyword == "sib":
+                pos += 1
+                child = parse_segment(level + 1)
+                nodes.append(Sib(tokens[1], child))
+            elif keyword == "mux":
+                ctrl = None
+                for tok in tokens[2:]:
+                    if tok.startswith("ctrl="):
+                        ctrl = tok.split("=", 1)[1]
+                if ctrl is None:
+                    raise IclParseError(f"mux {tokens[1]!r} missing ctrl=")
+                pos += 1
+                branches = []
+                while pos < len(entries) and entries[pos][0] == level + 1 \
+                        and entries[pos][1][0] == "branch":
+                    pos += 1
+                    branches.append(parse_segment(level + 2))
+                if len(branches) < 2:
+                    raise IclParseError(f"mux {tokens[1]!r} needs >= 2 branches")
+                nodes.append(Mux(tokens[1], ctrl, branches))
+            else:
+                raise IclParseError(f"unknown keyword {keyword!r}")
+        return Segment(nodes)
+
+    network = RSN(name, parse_segment(1))
+    # registers referenced by muxes must exist
+    for node in network.registry.values():
+        if isinstance(node, Mux) and node.control not in network.registry:
+            raise IclParseError(
+                f"mux {node.name!r} references unknown control {node.control!r}")
+    return network

@@ -1,0 +1,191 @@
+"""Pattern retargeting: high-level register access → scan vectors.
+
+Retargeting turns "write value V to instrument register R" into the CSU
+vector sequence that first *configures* the network (opens the SIBs and
+steers the ScanMuxes on R's route) and then delivers the payload.  Each
+CSU costs ``path length`` shift cycles, so the retargeter's job is also
+an optimization: touch as few cells as possible (the access-time metric
+the RSN test-time experiments build on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .network import RSN, Mux, Reg, RsnError, Segment, Sib
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One structural condition for a node to be on the active path."""
+
+    kind: str        # "sib_open" | "mux_branch"
+    node: str        # the SIB or mux name
+    branch: int = 0  # for mux_branch
+
+
+def route_requirements(network: RSN, target: str) -> list[Requirement]:
+    """Requirements for ``target`` to be scannable, outermost first."""
+    path: list[Requirement] = []
+
+    def walk(segment: Segment, acc: list[Requirement]) -> list[Requirement] | None:
+        for node in segment.nodes:
+            if node.name == target:
+                return acc
+            if isinstance(node, Sib):
+                found = walk(node.child, acc + [Requirement("sib_open", node.name)])
+                if found is not None:
+                    return found
+            elif isinstance(node, Mux):
+                for idx, branch in enumerate(node.branches):
+                    found = walk(branch,
+                                 acc + [Requirement("mux_branch", node.name, idx)])
+                    if found is not None:
+                        return found
+        return None
+
+    found = walk(network.top, [])
+    if found is None:
+        raise RsnError(f"target {target!r} not found in {network.name}")
+    return found
+
+
+@dataclass
+class RetargetResult:
+    """The vector sequence and its cost."""
+
+    vectors: list[list[int]] = field(default_factory=list)
+    shift_cycles: int = 0
+    csu_count: int = 0
+    satisfied: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def success(self) -> bool:
+        return bool(self.satisfied)
+
+
+def _desired_state(network: RSN, targets: Mapping[str, int]) -> tuple[dict[str, int], dict[str, int]]:
+    """(sib open/close desires, register write desires incl. mux controls)."""
+    sib_desire: dict[str, int] = {}
+    reg_desire: dict[str, int] = dict(targets)
+    work = list(targets)
+    seen: set[str] = set()
+    while work:
+        name = work.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for req in route_requirements(network, name):
+            if req.kind == "sib_open":
+                sib_desire[req.node] = 1
+            else:
+                mux = network.node(req.node)
+                assert isinstance(mux, Mux)
+                reg_desire.setdefault(mux.control, req.branch)
+                if reg_desire[mux.control] % len(mux.branches) != req.branch:
+                    raise RsnError(
+                        f"conflicting branch requirements on mux {req.node!r}")
+                work.append(mux.control)
+    return sib_desire, reg_desire
+
+
+def build_vector(network: RSN, sib_desire: Mapping[str, int],
+                 reg_desire: Mapping[str, int]) -> list[int]:
+    """A CSU vector for the *current* path applying the desired writes.
+
+    Cells not mentioned keep their update-latch value.  The returned
+    list is in TDI order (first bit shifted first).
+    """
+    path = network.active_path()
+    cell_values: list[int] = []
+    for node, bit in path:
+        if isinstance(node, Sib):
+            value = sib_desire.get(node.name, node.update_latch & 1)
+        else:
+            assert isinstance(node, Reg)
+            target = reg_desire.get(node.name)
+            source = target if target is not None else node.update_latch
+            value = (source >> bit) & 1
+        cell_values.append(value)
+    # cell i receives tdi[L-1-i]
+    length = len(cell_values)
+    return [cell_values[length - 1 - k] for k in range(length)]
+
+
+def retarget(network: RSN, targets: Mapping[str, int],
+             max_csu: int = 32) -> RetargetResult:
+    """Write every target register, reconfiguring the network as needed.
+
+    Iterates: derive desired SIB/mux/control state → build a vector for
+    the currently reachable cells → CSU → check.  Terminates when all
+    targets hold their values *and* are on the active path, or when
+    ``max_csu`` is exhausted (raises, since silent partial retargeting
+    would corrupt instrument sessions).
+    """
+    sib_desire, reg_desire = _desired_state(network, targets)
+    result = RetargetResult()
+    for _ in range(max_csu):
+        vector = build_vector(network, sib_desire, reg_desire)
+        result.vectors.append(vector)
+        network.csu(vector)
+        result.shift_cycles += len(vector)
+        result.csu_count += 1
+        on_path = {node.name for node, _ in network.active_path()}
+        done = all(
+            name in on_path and network.read_register(name) == value
+            for name, value in targets.items()
+        )
+        if done:
+            result.satisfied = dict(targets)
+            return result
+    raise RsnError(
+        f"retargeting did not converge after {max_csu} CSUs "
+        f"(targets {sorted(targets)})")
+
+
+def naive_access_cost(network: RSN, targets: Mapping[str, int]) -> int:
+    """Cost of the flatten-everything strategy: open *all* SIBs first.
+
+    The baseline the optimized retargeter is compared against: shift
+    cycles to open every SIB level by level, then one full-length payload
+    CSU.  Mux branches not on any route still cost their select writes.
+    """
+    snapshot = _freeze(network)
+    try:
+        all_sibs = {name: 1 for name, node in network.registry.items()
+                    if isinstance(node, Sib)}
+        cycles = 0
+        for _ in range(32):
+            vector = build_vector(network, all_sibs, {})
+            network.csu(vector)
+            cycles += len(vector)
+            on_path = {node.name for node, _ in network.active_path()}
+            fully_open = all(
+                s in on_path and (network.node(s).update_latch & 1)
+                for s in all_sibs
+            )
+            if fully_open:
+                break
+        _sibs, reg_desire = _desired_state(network, targets)
+        payload = build_vector(network, all_sibs, reg_desire)
+        network.csu(payload)
+        cycles += len(payload)
+        return cycles
+    finally:
+        _restore(network, snapshot)
+
+
+def _freeze(network: RSN) -> dict[str, tuple[int, int]]:
+    return {
+        name: (node.shift_stage, node.update_latch)
+        for name, node in network.registry.items()
+        if isinstance(node, (Reg, Sib))
+    }
+
+
+def _restore(network: RSN, snapshot: dict[str, tuple[int, int]]) -> None:
+    for name, (shift, update) in snapshot.items():
+        node = network.node(name)
+        node.shift_stage = shift
+        node.update_latch = update

@@ -1,0 +1,231 @@
+"""Test generation for reconfigurable scan networks (III.E, [15][16][30][44]).
+
+RSN structures "may also be prone to design errors and manufacturing
+faults"; testing them means choosing CSU sequences whose TDO streams
+differ between the golden and any faulty network.  Detection exploits
+two observable symptoms:
+
+* **length change** — a stuck SIB/mux alters the active-path length, so
+  a known flush pattern arrives shifted;
+* **data corruption** — a stuck cell corrupts the stream bit at its
+  position.
+
+A test is a sequence of :class:`Step` objects: *configuration* steps are
+full CSUs (shift + update, reprogramming SIBs), *flush* steps shift a
+long known pattern **without updating** — the tester stays in Shift-DR,
+so the network configuration survives the flush (updating would load
+arbitrary pattern bits into the SIB latches).
+
+Two generators are compared by bench E9.  ``exhaustive_test`` opens each
+SIB individually and flushes every time — high coverage, very long.
+``compact_test`` opens whole SIB levels concurrently and flushes once
+per level — the test-*duration* optimization of [30]/[44].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .network import RSN, Mux, Reg, Sib
+from .retarget import build_vector
+
+
+@dataclass
+class Step:
+    """One tester operation: shift ``bits``; update only if ``update``."""
+
+    bits: list[int]
+    update: bool = True
+
+
+@dataclass
+class RsnTest:
+    """A test = planned steps (lengths fixed by the golden network)."""
+
+    name: str
+    steps: list[Step] = field(default_factory=list)
+
+    @property
+    def shift_cycles(self) -> int:
+        return sum(len(s.bits) for s in self.steps)
+
+    def add_config(self, bits: list[int]) -> None:
+        self.steps.append(Step(bits, update=True))
+
+    def add_flush(self, bits: list[int]) -> None:
+        self.steps.append(Step(bits, update=False))
+
+
+def flush_pattern(length: int, period: int = 2) -> list[int]:
+    """A square-wave flush: runs of ``period//2`` zeros then ones (010101…
+    by default).  Flushes expose both stuck values and length changes."""
+    half = max(1, period // 2)
+    return [(i // half) & 1 for i in range(length)]
+
+
+def apply_test(network: RSN, test: RsnTest) -> list[int]:
+    """Run the planned steps; returns the concatenated TDO stream.
+
+    Step lengths are *golden-planned*: a faulty network with a different
+    path length still gets the same stimulus — exactly how a tester would
+    drive it — which is what makes length faults observable.
+    """
+    stream: list[int] = []
+    for step in test.steps:
+        network.capture()
+        stream.extend(network.shift(step.bits))
+        if step.update:
+            network.update()
+        network.csu_count += 1
+    return stream
+
+
+def detects(golden_factory, fault, test: RsnTest) -> bool:
+    """Does ``test`` distinguish the faulty network from the golden one?"""
+    golden = golden_factory()
+    golden.reset()
+    expected = apply_test(golden, test)
+    faulty = golden_factory()
+    faulty.reset()
+    faulty.inject(fault)
+    observed = apply_test(faulty, test)
+    return observed != expected
+
+
+def coverage(golden_factory, faults: Sequence[object], test: RsnTest) -> float:
+    """Fraction of faults the test detects."""
+    if not faults:
+        return 1.0
+    return sum(1 for f in faults if detects(golden_factory, f, test)) / len(faults)
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+def full_flat_length(network: RSN) -> int:
+    """Total scan cells when every segment is included (worst-case path)."""
+    total = 0
+    for node in network.registry.values():
+        if isinstance(node, Reg):
+            total += node.length
+        elif isinstance(node, Sib):
+            total += 1
+    return total
+
+
+def _sib_names_by_depth(network: RSN) -> list[list[str]]:
+    """SIB names grouped by nesting depth (root level first)."""
+    levels: list[list[str]] = []
+
+    def walk(segment, depth: int) -> None:
+        for node in segment.nodes:
+            if isinstance(node, Sib):
+                while len(levels) <= depth:
+                    levels.append([])
+                levels[depth].append(node.name)
+                walk(node.child, depth + 1)
+            elif isinstance(node, Mux):
+                for branch in node.branches:
+                    walk(branch, depth)
+
+    walk(network.top, 0)
+    return levels
+
+
+def _run_step(network: RSN, step: Step) -> None:
+    network.capture()
+    network.shift(step.bits)
+    if step.update:
+        network.update()
+
+
+def exhaustive_test(factory) -> RsnTest:
+    """Open each SIB individually; flush the path before and after.
+
+    One configuration CSU + one non-updating flush per SIB (opening
+    phase), then the mirror closing phase.  Thorough and very long —
+    the duration baseline.
+    """
+    network = factory()
+    network.reset()
+    test = RsnTest("exhaustive")
+    flush_len = full_flat_length(network) + 4
+    levels = _sib_names_by_depth(network)
+    opened: dict[str, int] = {}
+    for level in levels:
+        for sib_name in level:
+            opened[sib_name] = 1
+            vector = build_vector(network, opened, {})
+            test.add_config(vector)
+            _run_step(network, test.steps[-1])
+            test.add_flush(flush_pattern(flush_len))
+            _run_step(network, test.steps[-1])
+    for level in reversed(levels):
+        for sib_name in level:
+            opened[sib_name] = 0
+            vector = build_vector(network, opened, {})
+            test.add_config(vector)
+            _run_step(network, test.steps[-1])
+            test.add_flush(flush_pattern(flush_len))
+            _run_step(network, test.steps[-1])
+    return test
+
+
+def compact_test(factory) -> RsnTest:
+    """Open whole SIB levels at once; flush once per configuration.
+
+    The [30]/[44]-style duration optimization: the number of
+    configuration steps is the SIB *depth*, not the SIB *count*, and each
+    flush tests all newly-exposed cells concurrently.
+    """
+    network = factory()
+    network.reset()
+    test = RsnTest("compact")
+    flush_len = full_flat_length(network) + 4
+    levels = _sib_names_by_depth(network)
+    opened: dict[str, int] = {}
+    for level in levels:
+        for name in level:
+            opened[name] = 1
+        vector = build_vector(network, opened, {})
+        test.add_config(vector)
+        _run_step(network, test.steps[-1])
+        test.add_flush(flush_pattern(flush_len))
+        _run_step(network, test.steps[-1])
+    # one closing configuration exercises the stuck-open detection
+    closed = {name: 0 for name in opened}
+    vector = build_vector(network, closed, {})
+    test.add_config(vector)
+    _run_step(network, test.steps[-1])
+    test.add_flush(flush_pattern(flush_len))
+    _run_step(network, test.steps[-1])
+    return test
+
+
+@dataclass
+class StrategyComparison:
+    """Coverage/duration trade-off of the two generators (bench E9 rows)."""
+
+    exhaustive_cycles: int
+    exhaustive_coverage: float
+    compact_cycles: int
+    compact_coverage: float
+
+    @property
+    def duration_reduction(self) -> float:
+        if self.exhaustive_cycles == 0:
+            return 0.0
+        return 1 - self.compact_cycles / self.exhaustive_cycles
+
+
+def compare_strategies(factory, faults: Sequence[object]) -> StrategyComparison:
+    """Generate both tests and measure coverage and shift-cycle cost."""
+    exhaustive = exhaustive_test(factory)
+    compact = compact_test(factory)
+    return StrategyComparison(
+        exhaustive_cycles=exhaustive.shift_cycles,
+        exhaustive_coverage=coverage(factory, faults, exhaustive),
+        compact_cycles=compact.shift_cycles,
+        compact_coverage=coverage(factory, faults, compact),
+    )

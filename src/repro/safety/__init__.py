@@ -1,0 +1,63 @@
+"""Functional-safety validation: ISO 26262 metrics, FMECA, tool confidence,
+dynamic-slicing FI acceleration (paper Section III.D)."""
+
+from .campaign import SafetyCampaignResult, run_safety_campaign
+from .fmeca import FailureMode, Fmeca, occurrence_from_fit
+from .iso26262 import (
+    ASIL_METRIC_TARGETS,
+    ClassifiedFault,
+    FaultClass,
+    SafetyMetrics,
+    classify_from_injection,
+    compute_metrics,
+    diagnostic_coverage,
+)
+from .slicing import (
+    CampaignOutcome,
+    run_naive_campaign,
+    run_sliced_campaign,
+    verify_equivalence,
+)
+from .tool_confidence import (
+    DETECTABLE,
+    UNDETECTABLE,
+    UNKNOWN,
+    CrossCheckReport,
+    atpg_classifier,
+    buggy_drops_branch_faults,
+    buggy_optimistic,
+    cross_check,
+    default_engines,
+    fi_classifier,
+    formal_classifier,
+)
+
+__all__ = [
+    "ASIL_METRIC_TARGETS",
+    "CampaignOutcome",
+    "ClassifiedFault",
+    "CrossCheckReport",
+    "DETECTABLE",
+    "FailureMode",
+    "FaultClass",
+    "Fmeca",
+    "SafetyCampaignResult",
+    "SafetyMetrics",
+    "UNDETECTABLE",
+    "UNKNOWN",
+    "atpg_classifier",
+    "buggy_drops_branch_faults",
+    "buggy_optimistic",
+    "classify_from_injection",
+    "compute_metrics",
+    "cross_check",
+    "default_engines",
+    "diagnostic_coverage",
+    "fi_classifier",
+    "formal_classifier",
+    "occurrence_from_fit",
+    "run_naive_campaign",
+    "run_safety_campaign",
+    "run_sliced_campaign",
+    "verify_equivalence",
+]

@@ -1,0 +1,120 @@
+"""ISO 26262 random-hardware-fault metrics (paper III.D).
+
+Fault classification taxonomy and the three part-5 metrics:
+
+* **SPFM** — single-point fault metric:
+  ``1 − Σλ(single-point + residual) / Σλ(safety-related)``
+* **LFM** — latent fault metric:
+  ``1 − Σλ(latent) / Σλ(safety-related − single-point − residual)``
+* **PMHF** — probabilistic metric for random hardware failures: the
+  residual failure rate (FIT) that reaches the safety goal.
+
+Per-ASIL targets follow the standard's tables: SPFM ≥ 90/97/99 %,
+LFM ≥ 60/80/90 % for ASIL B/C/D, PMHF < 100/100/10 FIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class FaultClass(str, Enum):
+    """ISO 26262 fault classes for a safety-related element."""
+
+    SAFE = "safe"                    # cannot violate the safety goal
+    DETECTED = "detected"            # violates, but a mechanism catches it
+    RESIDUAL = "residual"            # violates and escapes the mechanism
+    LATENT_DETECTED = "latent_detected"  # multi-point, found by tests
+    LATENT = "latent"                # multi-point, never perceived
+
+
+@dataclass(frozen=True)
+class ClassifiedFault:
+    """One fault with its class and failure-rate share."""
+
+    name: str
+    fault_class: FaultClass
+    fit: float = 1.0
+
+
+#: (SPFM %, LFM %, PMHF FIT) targets per ASIL.
+ASIL_METRIC_TARGETS: dict[str, tuple[float, float, float]] = {
+    "ASIL-B": (0.90, 0.60, 100.0),
+    "ASIL-C": (0.97, 0.80, 100.0),
+    "ASIL-D": (0.99, 0.90, 10.0),
+}
+
+
+@dataclass
+class SafetyMetrics:
+    """Computed metrics plus the classification breakdown."""
+
+    spfm: float
+    lfm: float
+    pmhf_fit: float
+    breakdown: dict[FaultClass, float] = field(default_factory=dict)
+
+    def meets(self, asil: str) -> bool:
+        spfm_t, lfm_t, pmhf_t = ASIL_METRIC_TARGETS[asil]
+        return self.spfm >= spfm_t and self.lfm >= lfm_t and self.pmhf_fit <= pmhf_t
+
+    def gap(self, asil: str) -> dict[str, float]:
+        """Signed distance to each target (positive = compliant margin)."""
+        spfm_t, lfm_t, pmhf_t = ASIL_METRIC_TARGETS[asil]
+        return {
+            "spfm": self.spfm - spfm_t,
+            "lfm": self.lfm - lfm_t,
+            "pmhf_fit": pmhf_t - self.pmhf_fit,
+        }
+
+
+def compute_metrics(faults: list[ClassifiedFault]) -> SafetyMetrics:
+    """Aggregate classified faults into SPFM / LFM / PMHF."""
+    acc: dict[FaultClass, float] = {fc: 0.0 for fc in FaultClass}
+    for fault in faults:
+        acc[fault.fault_class] += fault.fit
+    total = sum(acc.values())
+    if total == 0:
+        return SafetyMetrics(1.0, 1.0, 0.0, acc)
+    dangerous = acc[FaultClass.RESIDUAL]
+    spfm = 1.0 - dangerous / total
+    latent_base = total - dangerous
+    lfm = 1.0 - (acc[FaultClass.LATENT] / latent_base if latent_base else 0.0)
+    pmhf = acc[FaultClass.RESIDUAL] + 0.5 * acc[FaultClass.LATENT]
+    return SafetyMetrics(spfm, lfm, pmhf, acc)
+
+
+def diagnostic_coverage(faults: list[ClassifiedFault]) -> float:
+    """DC of the safety mechanism: detected / (detected + residual)."""
+    detected = sum(f.fit for f in faults if f.fault_class is FaultClass.DETECTED)
+    residual = sum(f.fit for f in faults if f.fault_class is FaultClass.RESIDUAL)
+    denom = detected + residual
+    return detected / denom if denom else 1.0
+
+
+def classify_from_injection(
+    name: str,
+    violates_safety_goal: bool,
+    caught_by_mechanism: bool,
+    found_by_selftest: bool = True,
+    fit: float = 1.0,
+) -> ClassifiedFault:
+    """Map raw fault-injection observations onto the ISO taxonomy.
+
+    The decision tree mirrors the standard's flowchart: harmless → safe;
+    harmful+caught → detected; harmful+escaped → residual; harmless but
+    mechanism-corrupting faults are latent unless self-test finds them.
+    """
+    if violates_safety_goal and caught_by_mechanism:
+        cls = FaultClass.DETECTED
+    elif violates_safety_goal:
+        cls = FaultClass.RESIDUAL
+    elif caught_by_mechanism:
+        # perceptible but harmless: counts as detected multi-point
+        cls = FaultClass.LATENT_DETECTED
+    elif found_by_selftest:
+        cls = FaultClass.SAFE
+    else:
+        cls = FaultClass.LATENT
+    return ClassifiedFault(name, cls, fit)

@@ -1,0 +1,199 @@
+"""Autoencoder-based fault-attack detection (III.F).
+
+"We are developing a new strategy based on neural networks which can
+detect faults in the program flow of critical functions such as the
+crypto engines.  The neural network is trained with non-faulty traces
+only and hence has the potential to not only detect existing fault
+attacks but also future attacks."
+
+Implementation: program-flow traces are summarized into fixed-length
+feature vectors (instruction-class histogram + transition counts); a
+numpy autoencoder learns to reconstruct *clean* vectors; at run time a
+reconstruction error above the calibration percentile raises the alarm.
+Because nothing about specific attacks enters training, unseen fault
+types are detected exactly as seen ones — the property bench E14 checks
+with held-out fault classes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+INSTRUCTION_CLASSES = ("alu", "load", "store", "branch", "call", "ret", "crypto")
+
+
+def trace_features(trace: list[str]) -> np.ndarray:
+    """Histogram + bigram + length features of an instruction-class trace."""
+    index = {c: i for i, c in enumerate(INSTRUCTION_CLASSES)}
+    n = len(INSTRUCTION_CLASSES)
+    hist = np.zeros(n)
+    bigrams = np.zeros(n * n)
+    prev = None
+    for op in trace:
+        i = index.get(op)
+        if i is None:
+            continue
+        hist[i] += 1
+        if prev is not None:
+            bigrams[prev * n + i] += 1
+        prev = i
+    total = max(1.0, hist.sum())
+    length_feature = np.array([len(trace) / 64.0])
+    return np.concatenate([hist / total, bigrams / total, length_feature])
+
+
+def clean_program_trace(rng: random.Random, rounds: int = 10) -> list[str]:
+    """A crypto-routine control flow: setup, fixed round count, teardown.
+
+    Crypto engines execute a *fixed* number of rounds (AES-128: 10), so
+    the clean program flow is highly regular — which is exactly what the
+    autoencoder learns and what fault attacks break.  Benign variation
+    is limited to scheduling jitter (two independent ops swapped).
+    """
+    trace = ["call", "load", "load", "alu"]
+    for _ in range(rounds):
+        trace += ["crypto", "alu", "crypto", "alu", "store", "branch"]
+    trace += ["store", "ret"]
+    if rng.random() < 0.3:  # benign compiler jitter: swap two round ops
+        pos = 4 + 6 * rng.randrange(rounds)
+        trace[pos + 1], trace[pos + 3] = trace[pos + 3], trace[pos + 1]
+    return trace
+
+
+def faulted_trace(base: list[str], attack: str, rng: random.Random) -> list[str]:
+    """Apply one of several program-flow fault effects."""
+    trace = list(base)
+    if attack == "skip":            # instruction skip: drop a round op
+        del trace[rng.randrange(4, len(trace) - 2)]
+    elif attack == "loop_exit":     # premature loop exit: truncate rounds
+        cut = rng.randrange(6, max(7, len(trace) // 2))
+        trace = trace[:cut] + ["store", "ret"]
+    elif attack == "wrong_branch":  # control-flow hijack: branch storm
+        pos = rng.randrange(4, len(trace) - 2)
+        trace[pos:pos] = ["branch", "branch", "alu"]
+    elif attack == "double_round":  # replayed round body (unseen in training)
+        pos = rng.randrange(4, len(trace) - 8)
+        trace[pos:pos] = ["crypto", "alu", "crypto", "alu", "store", "branch"]
+    else:
+        raise ValueError(f"unknown attack {attack!r}")
+    return trace
+
+
+class Autoencoder:
+    """Tied-weight single-hidden-layer autoencoder trained with Adam."""
+
+    def __init__(self, hidden: int = 12, epochs: int = 300, lr: float = 0.01,
+                 seed: int = 0) -> None:
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self.w: np.ndarray | None = None
+        self.b_enc: np.ndarray | None = None
+        self.b_dec: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "Autoencoder":
+        rng = np.random.default_rng(self.seed)
+        n_in = x.shape[1]
+        w = rng.normal(0, np.sqrt(2 / n_in), (n_in, self.hidden))
+        b_enc = np.zeros(self.hidden)
+        b_dec = np.zeros(n_in)
+        params = [w, b_enc, b_dec]
+        m = [np.zeros_like(p) for p in params]
+        v = [np.zeros_like(p) for p in params]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        for t in range(1, self.epochs + 1):
+            h_pre = x @ w + b_enc
+            h = np.maximum(h_pre, 0)
+            recon = h @ w.T + b_dec
+            err = recon - x
+            d_recon = 2 * err / x.size
+            g_bdec = d_recon.sum(axis=0)
+            d_h = d_recon @ w
+            d_h[h_pre <= 0] = 0
+            g_benc = d_h.sum(axis=0)
+            g_w = x.T @ d_h + d_recon.T @ h  # tied weights: both paths
+            grads = [g_w, g_benc, g_bdec]
+            for i, (p, g) in enumerate(zip(params, grads)):
+                m[i] = beta1 * m[i] + (1 - beta1) * g
+                v[i] = beta2 * v[i] + (1 - beta2) * g * g
+                m_hat = m[i] / (1 - beta1 ** t)
+                v_hat = v[i] / (1 - beta2 ** t)
+                p -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+        self.w, self.b_enc, self.b_dec = params
+        return self
+
+    def reconstruction_error(self, x: np.ndarray) -> np.ndarray:
+        if self.w is None:
+            raise RuntimeError("fit() before reconstruction_error()")
+        h = np.maximum(x @ self.w + self.b_enc, 0)
+        recon = h @ self.w.T + self.b_dec
+        return np.mean((recon - x) ** 2, axis=1)
+
+
+@dataclass
+class DetectorReport:
+    """Detection quality per attack class plus the false-positive rate."""
+
+    threshold: float
+    false_positive_rate: float
+    detection_rate: dict[str, float] = field(default_factory=dict)
+    auc: float = 0.0
+
+
+class FaultAttackDetector:
+    """Train-on-clean-only anomaly detector for program-flow traces."""
+
+    def __init__(self, hidden: int = 12, epochs: int = 300, seed: int = 0,
+                 threshold_percentile: float = 99.0) -> None:
+        self.model = Autoencoder(hidden=hidden, epochs=epochs, seed=seed)
+        self.threshold_percentile = threshold_percentile
+        self.threshold: float | None = None
+
+    def fit(self, clean_traces: list[list[str]]) -> "FaultAttackDetector":
+        x = np.stack([trace_features(t) for t in clean_traces])
+        self.model.fit(x)
+        errors = self.model.reconstruction_error(x)
+        # the margin guards against a knife-edge threshold when training
+        # errors cluster tightly (few distinct benign variants)
+        percentile = float(np.percentile(errors, self.threshold_percentile))
+        self.threshold = max(percentile, float(errors.max())) * 1.5
+        return self
+
+    def score(self, trace: list[str]) -> float:
+        x = trace_features(trace).reshape(1, -1)
+        return float(self.model.reconstruction_error(x)[0])
+
+    def is_attack(self, trace: list[str]) -> bool:
+        if self.threshold is None:
+            raise RuntimeError("fit() before is_attack()")
+        return self.score(trace) > self.threshold
+
+
+def evaluate_detector(
+    detector: FaultAttackDetector,
+    clean_traces: list[list[str]],
+    attacks: dict[str, list[list[str]]],
+) -> DetectorReport:
+    """FPR on held-out clean traces, detection rate per attack class, AUC."""
+    clean_scores = [detector.score(t) for t in clean_traces]
+    fpr = sum(1 for s in clean_scores if s > detector.threshold) / len(clean_scores)
+    report = DetectorReport(detector.threshold or 0.0, fpr)
+    all_attack_scores: list[float] = []
+    for name, traces in attacks.items():
+        scores = [detector.score(t) for t in traces]
+        all_attack_scores.extend(scores)
+        report.detection_rate[name] = (
+            sum(1 for s in scores if s > detector.threshold) / len(scores))
+    # AUC via rank statistic (Mann-Whitney)
+    combined = [(s, 0) for s in clean_scores] + [(s, 1) for s in all_attack_scores]
+    combined.sort()
+    rank_sum = sum(rank for rank, (s, label) in enumerate(combined, 1) if label)
+    n_pos = len(all_attack_scores)
+    n_neg = len(clean_scores)
+    if n_pos and n_neg:
+        report.auc = (rank_sum - n_pos * (n_pos + 1) / 2) / (n_pos * n_neg)
+    return report

@@ -1,0 +1,139 @@
+"""Differential fault analysis on AES (III.F fault-attack payload).
+
+Why laser FI matters: a single well-placed fault breaks the cipher.  The
+attack implemented is the classic last-round DFA: a byte fault injected
+*before the final SubBytes* changes exactly one state byte, and for the
+faulted byte position ``j`` the attacker knows
+
+    SBOX⁻¹(c_j ⊕ k_j) ⊕ SBOX⁻¹(c'_j ⊕ k_j) = δ   for some δ ≠ 0.
+
+The attacker's power comes from a *restricted* fault model: the laser
+experiments of [18] flip a single transistor, so δ is a one-hot byte
+(δ ∈ {0x01, 0x02, …, 0x80}).  Each (correct, faulty) ciphertext pair
+then restricts k_j to the few candidates consistent with *some* single-
+bit δ; intersecting over a handful of pairs isolates the true key byte.
+With the last round key, the AES-128 key schedule inverts to the master
+key.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..crypto.aes import INV_SBOX, RCON, SBOX, encrypt_block, expand_key
+
+
+def _shift_rows_position(byte_index: int) -> int:
+    """Where state byte ``byte_index`` (before ShiftRows) lands in the CT."""
+    col, row = divmod(byte_index, 4)
+    new_col = (col - row) % 4
+    return 4 * new_col + row
+
+
+SINGLE_BIT_DELTAS = frozenset(1 << b for b in range(8))
+
+
+def candidate_key_bytes(correct: bytes, faulty: bytes, ct_position: int,
+                        delta_set: frozenset[int] = SINGLE_BIT_DELTAS) -> set[int]:
+    """Key-byte candidates from one ciphertext pair at one position.
+
+    ``delta_set`` is the attacker's fault model (pre-SubBytes XOR values
+    considered possible); the default single-bit set matches the laser
+    single-transistor capability of [18].
+    """
+    c, f = correct[ct_position], faulty[ct_position]
+    if c == f:
+        return set(range(256))  # fault did not reach this byte: no info
+    candidates = set()
+    for key_guess in range(256):
+        delta = INV_SBOX[c ^ key_guess] ^ INV_SBOX[f ^ key_guess]
+        if delta in delta_set:
+            candidates.add(key_guess)
+    return candidates
+
+
+def dfa_recover_round_key(
+    key: bytes,
+    pairs_per_byte: int = 3,
+    seed: int = 0,
+) -> tuple[bytes, dict[int, int]]:
+    """Simulate the full attack; returns (recovered round-10 key, #pairs used).
+
+    For each state byte, random plaintexts are encrypted twice — clean
+    and with a random fault before round-10 SubBytes — until the
+    candidate intersection is a singleton.
+    """
+    rng = random.Random(seed)
+    recovered = [0] * 16
+    pairs_used: dict[int, int] = {}
+    for state_byte in range(16):
+        ct_pos = _shift_rows_position(state_byte)
+        candidates = set(range(256))
+        used = 0
+        while len(candidates) > 1 and used < pairs_per_byte * 4:
+            pt = bytes(rng.randrange(256) for _ in range(16))
+            fault_val = 1 << rng.randrange(8)  # single-bit laser fault
+            clean = encrypt_block(pt, key)
+            faulty = encrypt_block(pt, key, fault=(10, state_byte, fault_val))
+            step = candidate_key_bytes(clean, faulty, ct_pos)
+            candidates &= step
+            used += 1
+        pairs_used[state_byte] = used
+        if len(candidates) != 1:
+            raise RuntimeError(
+                f"DFA did not converge for byte {state_byte} "
+                f"({len(candidates)} candidates left)")
+        recovered[ct_pos] = candidates.pop()
+    return bytes(recovered), pairs_used
+
+
+def invert_key_schedule(round10_key: bytes) -> bytes:
+    """Walk the AES-128 key schedule backward from round key 10 to the key.
+
+    ``w[i-4] = w[i] ⊕ g(w[i-1])`` solves backward because descending
+    ``i`` always has ``w[i-1]`` available (computed at a larger ``i``).
+    """
+    words = [list(round10_key[i:i + 4]) for i in range(0, 16, 4)]
+    full: list[list[int] | None] = [None] * 40 + words
+    for i in range(43, 3, -1):
+        w_i = full[i]
+        w_im1 = full[i - 1]
+        if i % 4 == 0:
+            temp = w_im1[1:] + w_im1[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= RCON[i // 4 - 1]
+            full[i - 4] = [a ^ b for a, b in zip(w_i, temp)]
+        else:
+            full[i - 4] = [a ^ b for a, b in zip(w_i, w_im1)]
+    master = full[0] + full[1] + full[2] + full[3]
+    return bytes(master)
+
+
+def full_dfa_attack(key: bytes, seed: int = 0) -> bytes:
+    """End-to-end DFA: recover round key 10, invert to the master key."""
+    round10, _pairs = dfa_recover_round_key(key, seed=seed)
+    return invert_key_schedule(round10)
+
+
+def dfa_with_redundancy_countermeasure(
+    key: bytes,
+    seed: int = 0,
+) -> tuple[int, int]:
+    """Duplicate-and-compare blocks the attack: returns (faulty outputs
+    released without countermeasure, with countermeasure).
+
+    The countermeasure recomputes each encryption and suppresses the
+    output on mismatch — faulty ciphertexts never reach the attacker, so
+    the DFA collects zero usable pairs.
+    """
+    rng = random.Random(seed)
+    released_without = released_with = 0
+    for _ in range(32):
+        pt = bytes(rng.randrange(256) for _ in range(16))
+        fault = (10, rng.randrange(16), rng.randrange(1, 256))
+        faulty = encrypt_block(pt, key, fault=fault)
+        clean = encrypt_block(pt, key)
+        released_without += 1  # unprotected device always emits
+        if faulty == clean:    # protected device emits only on agreement
+            released_with += 1
+    return released_without, released_with

@@ -1,0 +1,48 @@
+"""Simulation engines: bit-parallel logic, 3-valued, sequential, event, fault."""
+
+from .event import EventSim, SETOutcome, Waveform
+from .fault_sim import (
+    FaultSimResult,
+    detection_mask,
+    fault_coverage,
+    fault_simulate,
+    faulty_values,
+    sequential_fault_simulate,
+)
+from .logic import (
+    X,
+    eval_gate,
+    eval_gate_3v,
+    exhaustive_patterns,
+    mask_of,
+    pack_patterns,
+    random_patterns,
+    simulate,
+    simulate_3v,
+    unpack_patterns,
+)
+from .sequential import SequentialSim, output_trace
+
+__all__ = [
+    "EventSim",
+    "FaultSimResult",
+    "SETOutcome",
+    "SequentialSim",
+    "Waveform",
+    "X",
+    "detection_mask",
+    "eval_gate",
+    "eval_gate_3v",
+    "exhaustive_patterns",
+    "fault_coverage",
+    "fault_simulate",
+    "faulty_values",
+    "mask_of",
+    "output_trace",
+    "pack_patterns",
+    "random_patterns",
+    "sequential_fault_simulate",
+    "simulate",
+    "simulate_3v",
+    "unpack_patterns",
+]

@@ -1,0 +1,271 @@
+"""Machine learning for failure-rate analysis (E5, after [31][55]-[58]).
+
+The RESCUE line of work trains models on gate-level graph features to
+predict per-instance derating factors, replacing part of the fault
+simulation budget.  [56]/[58] specifically use graph convolutional
+networks over the netlist graph with low-dimensional structural
+features.
+
+Implemented here with numpy only:
+
+* feature extraction per net — structural (level, fan-in/out, cone
+  sizes), SCOAP testability, and neighbourhood aggregates;
+* a ridge regressor (closed form) as the linear baseline;
+* a one-hidden-layer MLP trained by full-batch Adam;
+* a 2-layer GCN-lite: symmetric-normalized adjacency propagation with a
+  dense head, matching the "graph model-based, low-dimensional feature"
+  approach of [58].
+
+Labels come from the exact analyses (SEU AVF or SET logical derating),
+so train/evaluate experiments are self-contained and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.levelize import fanin_cone, fanout_cone, levels
+from ..circuit.netlist import Circuit
+from ..circuit.scoap import INF, compute_scoap
+
+FEATURE_NAMES = (
+    "level", "depth_to_out", "fanin", "fanout",
+    "fanin_cone", "fanout_cone", "cc0", "cc1", "co",
+    "is_flop", "neigh_mean_fanout",
+)
+
+
+def extract_features(circuit: Circuit, nets: list[str]) -> np.ndarray:
+    """Feature matrix (len(nets) × len(FEATURE_NAMES)), standardized later."""
+    lvl = levels(circuit)
+    max_lvl = max(lvl.values(), default=0)
+    scoap = compute_scoap(circuit)
+    fmap = circuit.fanout_map()
+
+    def cap(x: float, ceiling: float = 1e6) -> float:
+        return ceiling if x is INF or x > ceiling else float(x)
+
+    rows = []
+    for net in nets:
+        gate = circuit.gates.get(net)
+        fanin = len(gate.inputs) if gate else 0
+        fanout = len(fmap.get(net, ()))
+        fic = len(fanin_cone(circuit, [net]))
+        foc = len(fanout_cone(circuit, [net]))
+        sc = scoap.get(net)
+        neigh = fmap.get(net, ())
+        neigh_fan = (sum(len(fmap.get(x, ())) for x in neigh) / len(neigh)
+                     if neigh else 0.0)
+        rows.append([
+            lvl.get(net, 0), max_lvl - lvl.get(net, 0), fanin, fanout,
+            fic, foc,
+            cap(sc.cc0) if sc else 0.0, cap(sc.cc1) if sc else 0.0,
+            cap(sc.co) if sc else 0.0,
+            1.0 if net in circuit.flops else 0.0, neigh_fan,
+        ])
+    return np.asarray(rows, dtype=float)
+
+
+def standardize(x_train: np.ndarray, x_test: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Z-score using train statistics only."""
+    mean = x_train.mean(axis=0)
+    std = x_train.std(axis=0)
+    std[std == 0] = 1.0
+    return (x_train - mean) / std, (x_test - mean) / std
+
+
+@dataclass
+class RegressionMetrics:
+    mse: float
+    mae: float
+    r2: float
+
+    @staticmethod
+    def of(y_true: np.ndarray, y_pred: np.ndarray) -> "RegressionMetrics":
+        err = y_true - y_pred
+        mse = float(np.mean(err ** 2))
+        mae = float(np.mean(np.abs(err)))
+        var = float(np.var(y_true))
+        r2 = 1.0 - mse / var if var > 0 else (1.0 if mse == 0 else 0.0)
+        return RegressionMetrics(mse, mae, r2)
+
+
+class RidgeRegressor:
+    """Closed-form ridge regression baseline."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+        self.weights: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeRegressor":
+        xb = np.hstack([x, np.ones((x.shape[0], 1))])
+        gram = xb.T @ xb + self.alpha * np.eye(xb.shape[1])
+        self.weights = np.linalg.solve(gram, xb.T @ y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("fit() before predict()")
+        xb = np.hstack([x, np.ones((x.shape[0], 1))])
+        return np.clip(xb @ self.weights, 0.0, 1.0)
+
+
+class MlpRegressor:
+    """One-hidden-layer MLP, full-batch Adam, sigmoid output in [0, 1]."""
+
+    def __init__(self, hidden: int = 16, epochs: int = 400, lr: float = 0.01,
+                 seed: int = 0) -> None:
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self.params: dict[str, np.ndarray] = {}
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MlpRegressor":
+        rng = np.random.default_rng(self.seed)
+        n_in = x.shape[1]
+        p = {
+            "w1": rng.normal(0, np.sqrt(2 / n_in), (n_in, self.hidden)),
+            "b1": np.zeros(self.hidden),
+            "w2": rng.normal(0, np.sqrt(2 / self.hidden), (self.hidden, 1)),
+            "b2": np.zeros(1),
+        }
+        m = {k: np.zeros_like(v) for k, v in p.items()}
+        v = {k: np.zeros_like(val) for k, val in p.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        y_col = y.reshape(-1, 1)
+        for t in range(1, self.epochs + 1):
+            h_pre = x @ p["w1"] + p["b1"]
+            h = np.maximum(h_pre, 0)
+            logits = h @ p["w2"] + p["b2"]
+            out = 1 / (1 + np.exp(-logits))
+            # d MSE/d logits with sigmoid
+            d_out = 2 * (out - y_col) / len(y_col)
+            d_logits = d_out * out * (1 - out)
+            grads = {
+                "w2": h.T @ d_logits,
+                "b2": d_logits.sum(axis=0),
+            }
+            d_h = d_logits @ p["w2"].T
+            d_h[h_pre <= 0] = 0
+            grads["w1"] = x.T @ d_h
+            grads["b1"] = d_h.sum(axis=0)
+            for key in p:
+                m[key] = beta1 * m[key] + (1 - beta1) * grads[key]
+                v[key] = beta2 * v[key] + (1 - beta2) * grads[key] ** 2
+                m_hat = m[key] / (1 - beta1 ** t)
+                v_hat = v[key] / (1 - beta2 ** t)
+                p[key] -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+        self.params = p
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        p = self.params
+        if not p:
+            raise RuntimeError("fit() before predict()")
+        h = np.maximum(x @ p["w1"] + p["b1"], 0)
+        return (1 / (1 + np.exp(-(h @ p["w2"] + p["b2"])))).ravel()
+
+
+class GcnRegressor:
+    """Two-layer GCN-lite over the netlist graph ([56]/[58] style).
+
+    Propagation: H = ReLU(Â X W1); ŷ = σ(Â H w2), with
+    Â = D^{-1/2}(A + I)D^{-1/2} built over the undirected net graph.
+    Training optimizes MSE on the labelled subset of nodes only
+    (semi-supervised node regression).
+    """
+
+    def __init__(self, hidden: int = 16, epochs: int = 300, lr: float = 0.02,
+                 seed: int = 0) -> None:
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self.params: dict[str, np.ndarray] = {}
+        self._a_hat: np.ndarray | None = None
+
+    @staticmethod
+    def normalized_adjacency(circuit: Circuit, nets: list[str]) -> np.ndarray:
+        index = {net: i for i, net in enumerate(nets)}
+        n = len(nets)
+        adj = np.eye(n)
+        for gate in circuit.gates.values():
+            if gate.output not in index:
+                continue
+            gi = index[gate.output]
+            for src in gate.inputs:
+                if src in index:
+                    si = index[src]
+                    adj[gi, si] = adj[si, gi] = 1.0
+        for q, flop in circuit.flops.items():
+            if q in index and flop.d in index:
+                qi, di = index[q], index[flop.d]
+                adj[qi, di] = adj[di, qi] = 1.0
+        deg = adj.sum(axis=1)
+        d_inv_sqrt = 1.0 / np.sqrt(deg)
+        return adj * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+
+    def fit(self, circuit: Circuit, nets: list[str], features: np.ndarray,
+            labels: np.ndarray, labelled_mask: np.ndarray) -> "GcnRegressor":
+        rng = np.random.default_rng(self.seed)
+        self._a_hat = self.normalized_adjacency(circuit, nets)
+        a_hat = self._a_hat
+        n_in = features.shape[1]
+        p = {
+            "w1": rng.normal(0, np.sqrt(2 / n_in), (n_in, self.hidden)),
+            "b1": np.zeros(self.hidden),
+            "w2": rng.normal(0, np.sqrt(2 / self.hidden), (self.hidden, 1)),
+            "b2": np.zeros(1),
+        }
+        m = {k: np.zeros_like(v) for k, v in p.items()}
+        v = {k: np.zeros_like(val) for k, val in p.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        y_col = labels.reshape(-1, 1)
+        mask = labelled_mask.reshape(-1, 1).astype(float)
+        n_labelled = max(1.0, float(mask.sum()))
+        ax = a_hat @ features  # constant across epochs
+        for t in range(1, self.epochs + 1):
+            h_pre = ax @ p["w1"] + p["b1"]
+            h = np.maximum(h_pre, 0)
+            ah = a_hat @ h
+            logits = ah @ p["w2"] + p["b2"]
+            out = 1 / (1 + np.exp(-logits))
+            d_out = 2 * (out - y_col) * mask / n_labelled
+            d_logits = d_out * out * (1 - out)
+            grads = {
+                "w2": ah.T @ d_logits,
+                "b2": d_logits.sum(axis=0),
+            }
+            d_ah = d_logits @ p["w2"].T
+            d_h = a_hat.T @ d_ah
+            d_h[h_pre <= 0] = 0
+            grads["w1"] = ax.T @ d_h
+            grads["b1"] = d_h.sum(axis=0)
+            for key in p:
+                m[key] = beta1 * m[key] + (1 - beta1) * grads[key]
+                v[key] = beta2 * v[key] + (1 - beta2) * grads[key] ** 2
+                m_hat = m[key] / (1 - beta1 ** t)
+                v_hat = v[key] / (1 - beta2 ** t)
+                p[key] -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+        self.params = p
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self.params or self._a_hat is None:
+            raise RuntimeError("fit() before predict()")
+        p = self.params
+        a_hat = self._a_hat
+        h = np.maximum(a_hat @ features @ p["w1"] + p["b1"], 0)
+        logits = a_hat @ h @ p["w2"] + p["b2"]
+        return (1 / (1 + np.exp(-logits))).ravel()
+
+
+def split_indices(n: int, train_fraction: float = 0.7, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic shuffled train/test index split."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    cut = int(n * train_fraction)
+    return order[:cut], order[cut:]

@@ -1,0 +1,139 @@
+"""SEU fault-injection campaigns on sequential circuits.
+
+Each injection flips one flop at one cycle of a workload and compares the
+machine against the golden run:
+
+* **masked**     — primary outputs and final state both match;
+* **latent**     — outputs match but corrupted state remains at the end;
+* **failure**    — some primary output differs in some cycle (SDC).
+
+The per-flop failure probability is the architectural vulnerability
+factor (AVF) — the "functional derating" leaf of the FIT chain, and the
+training label for the ML predictors of experiment E5.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..circuit.netlist import Circuit
+from ..sim.sequential import SequentialSim
+
+MASKED = "masked"
+LATENT = "latent"
+FAILURE = "failure"
+
+
+@dataclass(frozen=True)
+class SeuInjection:
+    """One injection point and its outcome."""
+
+    flop: str
+    cycle: int
+    outcome: str
+
+
+@dataclass
+class SeuCampaignResult:
+    """Aggregated campaign outcome."""
+
+    injections: list[SeuInjection] = field(default_factory=list)
+    n_cycles: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.injections)
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for inj in self.injections if inj.outcome == outcome)
+
+    @property
+    def failure_rate(self) -> float:
+        return self.count(FAILURE) / self.total if self.total else 0.0
+
+    @property
+    def masked_rate(self) -> float:
+        return self.count(MASKED) / self.total if self.total else 0.0
+
+    @property
+    def latent_rate(self) -> float:
+        return self.count(LATENT) / self.total if self.total else 0.0
+
+    def avf_per_flop(self) -> dict[str, float]:
+        """Per-flop failure probability (AVF) over the campaign."""
+        totals: dict[str, int] = {}
+        fails: dict[str, int] = {}
+        for inj in self.injections:
+            totals[inj.flop] = totals.get(inj.flop, 0) + 1
+            if inj.outcome == FAILURE:
+                fails[inj.flop] = fails.get(inj.flop, 0) + 1
+        return {f: fails.get(f, 0) / totals[f] for f in totals}
+
+
+def _golden_run(circuit: Circuit, stimuli: Sequence[Mapping[str, int]]):
+    sim = SequentialSim(circuit, 1)
+    trace = [dict(out) for out in sim.run(stimuli)]
+    return trace, dict(sim.state)
+
+
+def inject_seu(
+    circuit: Circuit,
+    stimuli: Sequence[Mapping[str, int]],
+    flop: str,
+    cycle: int,
+    golden: tuple[list[dict[str, int]], dict[str, int]] | None = None,
+) -> str:
+    """Run one SEU experiment and classify the outcome."""
+    if golden is None:
+        golden = _golden_run(circuit, stimuli)
+    golden_trace, golden_state = golden
+    sim = SequentialSim(circuit, 1)
+    for cyc, stim in enumerate(stimuli):
+        if cyc == cycle:
+            sim.flip_state(flop)
+        out = sim.step(stim)
+        if out != golden_trace[cyc]:
+            return FAILURE
+    if sim.state != golden_state:
+        return LATENT
+    return MASKED
+
+
+def run_campaign(
+    circuit: Circuit,
+    stimuli: Sequence[Mapping[str, int]],
+    targets: Sequence[str] | None = None,
+    cycles: Sequence[int] | None = None,
+    sample: int | None = None,
+    seed: int = 0,
+) -> SeuCampaignResult:
+    """SEU campaign over flops × cycles (exhaustive or sampled).
+
+    ``sample`` caps the number of injections drawn uniformly from the
+    space; ``None`` means exhaustive.
+    """
+    if not circuit.flops:
+        raise ValueError(f"{circuit.name} has no flops to upset")
+    targets = list(targets if targets is not None else circuit.flops)
+    cycles = list(cycles if cycles is not None else range(len(stimuli)))
+    space = [(flop, cyc) for flop in targets for cyc in cycles]
+    if sample is not None and sample < len(space):
+        space = random.Random(seed).sample(space, sample)
+
+    golden = _golden_run(circuit, stimuli)
+    result = SeuCampaignResult(n_cycles=len(stimuli))
+    for flop, cyc in space:
+        outcome = inject_seu(circuit, stimuli, flop, cyc, golden)
+        result.injections.append(SeuInjection(flop, cyc, outcome))
+    return result
+
+
+def random_workload(circuit: Circuit, n_cycles: int, seed: int = 0) -> list[dict[str, int]]:
+    """Random primary-input stimulus for campaign workloads."""
+    rng = random.Random(seed)
+    return [
+        {pi: rng.getrandbits(1) for pi in circuit.inputs}
+        for _ in range(n_cycles)
+    ]

@@ -1,0 +1,262 @@
+"""Tests for aging models, decoder aging/mitigation and FinFET SRAM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aging import (
+    AgedPath,
+    BtiModel,
+    DelayModel,
+    HciModel,
+    RejuvenationSearch,
+    age_decoder,
+    balance_profile,
+    combined_delta_vth,
+    guard_band_for,
+    hot_cold_profile,
+    mitigate_decoder,
+    uniform_profile,
+)
+from repro.memory import (
+    DefectKind,
+    MARCH_C_MINUS,
+    MARCH_SS,
+    MATS_PLUS,
+    SramArray,
+    SramCell,
+    classify_severity,
+    combined_test,
+    current_sweep,
+    inject_defect,
+    march_coverage,
+    pristine,
+    run_march,
+    seed_defect_population,
+    with_bent_fin,
+    with_fin_crack,
+    with_gate_damage,
+)
+
+
+class TestBtiModel:
+    def test_monotone_in_time_duty_temp(self):
+        model = BtiModel()
+        assert model.delta_vth_years(10, 0.5, 85) > model.delta_vth_years(1, 0.5, 85)
+        assert model.delta_vth_years(10, 0.9, 85) > model.delta_vth_years(10, 0.1, 85)
+        assert model.delta_vth_years(10, 0.5, 125) > model.delta_vth_years(10, 0.5, 25)
+
+    def test_zero_cases(self):
+        model = BtiModel()
+        assert model.delta_vth(0.0, 1.0) == 0.0
+        assert model.delta_vth(1e8, 0.0) == 0.0
+
+    def test_validation(self):
+        model = BtiModel()
+        with pytest.raises(ValueError):
+            model.delta_vth(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            model.delta_vth(1.0, 1.5)
+
+    def test_magnitude_regime(self):
+        """Tens of millivolts over 10 years at 125 C — the paper's regime."""
+        dvth = BtiModel().delta_vth_years(10, duty=1.0, temp_c=125)
+        assert 0.01 < dvth < 0.2
+
+    def test_rejuvenation_gain(self):
+        model = BtiModel()
+        gain = model.rejuvenation_gain(1.0, 0.5, years=10)
+        assert 0.2 < gain < 0.5  # sqrt duty law: 1 - sqrt(0.5) ≈ 0.29
+
+    def test_hci_activity_driven(self):
+        hci = HciModel()
+        assert hci.delta_vth(1e8, 0.5) > hci.delta_vth(1e8, 0.1)
+        assert combined_delta_vth(5, 0.5, 0.2) > 0
+
+
+class TestDelayModel:
+    def test_slowdown_monotone(self):
+        dm = DelayModel()
+        assert dm.slowdown(0.0) == 1.0
+        assert dm.slowdown(0.05) > 1.0
+        assert dm.slowdown(0.10) > dm.slowdown(0.05)
+
+    def test_slowdown_capped(self):
+        dm = DelayModel()
+        assert dm.slowdown(10.0) < float("inf")
+
+    def test_path_degradation_and_lifetime(self):
+        path = AgedPath("crit", base_delay=1.0,
+                        gate_duties=[1.0] * 8, temp_c=125)
+        assert path.degradation_percent(10) > 1.0
+        years = path.years_to_failure(clock_budget=1.05)
+        assert 0 < years <= 30
+        margin = guard_band_for(path, mission_years=10)
+        assert margin > 0
+
+
+class TestDecoderAging:
+    def test_hot_profile_worse_than_uniform(self):
+        hot = age_decoder(3, hot_cold_profile(3, 0.9, 1), years=10)
+        uniform = age_decoder(3, uniform_profile(3), years=10)
+        assert hot.max_slowdown > uniform.max_slowdown
+        assert hot.duty_imbalance() > uniform.duty_imbalance()
+
+    def test_skew_nonnegative(self):
+        report = age_decoder(3, hot_cold_profile(3), years=5)
+        assert report.skew >= 0
+
+    def test_mitigation_recovers_most_slowdown(self):
+        """[24]: 'the address decoder can be mitigated very well'."""
+        outcome = mitigate_decoder(3, hot_cold_profile(3, 0.85, 1),
+                                   overhead=0.3, years=10)
+        assert outcome.slowdown_reduction > 0.3
+        assert outcome.imbalance_reduction > 0.2
+
+    def test_more_overhead_helps_more(self):
+        profile = hot_cold_profile(3, 0.85, 1)
+        small = mitigate_decoder(3, profile, overhead=0.05, years=10)
+        large = mitigate_decoder(3, profile, overhead=0.5, years=10)
+        assert large.after.max_slowdown <= small.after.max_slowdown + 1e-9
+
+    def test_balance_profile_normalized(self):
+        original = hot_cold_profile(3)
+        balanced = balance_profile(original, overhead=0.2)
+        assert sum(balanced.values()) == pytest.approx(1.0)
+
+        def bit_imbalance(prof):
+            mass = sum(prof.values())
+            return sum(
+                abs(sum(w for a, w in prof.items() if (a >> b) & 1) / mass - 0.5)
+                for b in range(3))
+
+        assert bit_imbalance(balanced) < bit_imbalance(original)
+
+    def test_balance_profile_validates(self):
+        with pytest.raises(ValueError):
+            balance_profile({0: 1.0}, overhead=-0.1)
+
+    def test_rejuvenation_search_improves(self):
+        search = RejuvenationSearch(3, hot_cold_profile(3, 0.9, 1),
+                                    budget=8, seed=4)
+        _dummies, initial, best = search.run(iterations=10)
+        assert best <= initial
+
+
+class TestFinFetDevices:
+    def test_crack_reduces_drive(self):
+        ref = pristine("ref", 2)
+        assert with_fin_crack(ref, 0.5).drive_ratio_vs(ref) == pytest.approx(0.5)
+
+    def test_bend_shifts_vth_and_leaks(self):
+        ref = pristine("ref", 2)
+        bent = with_bent_fin(ref, 1.0)
+        assert bent.vth > ref.vth
+        assert bent.leakage > ref.leakage * 50
+
+    def test_gate_damage_is_hard(self):
+        ref = pristine("ref", 2)
+        assert classify_severity(with_gate_damage(ref), ref) == "hard"
+
+    def test_classification_bins(self):
+        ref = pristine("ref", 2)
+        assert classify_severity(with_fin_crack(ref, 0.9), ref) == "hard"
+        assert classify_severity(with_fin_crack(ref, 0.3), ref) == "weak"
+        assert classify_severity(with_fin_crack(ref, 0.01), ref) == "benign"
+
+    def test_validation(self):
+        ref = pristine("ref")
+        with pytest.raises(ValueError):
+            with_fin_crack(ref, 0.0)
+        with pytest.raises(ValueError):
+            with_bent_fin(ref, 2.0)
+
+
+class TestSramCellAndArray:
+    def test_fresh_cell_functional(self):
+        cell = SramCell.fresh("c")
+        assert cell.write(1) and cell.read() == 1
+        assert cell.write(0) and cell.read() == 0
+        assert not cell.is_functional_faulty()
+        assert not cell.is_weak()
+
+    def test_crushed_pull_up_blocks_writes(self):
+        cell = SramCell.fresh("c")
+        inject_defect(cell, "pass_gate_l", DefectKind.FIN_CRACK_FULL, 0.95)
+        inject_defect(cell, "pass_gate_r", DefectKind.FIN_CRACK_FULL, 0.95)
+        assert cell.write_margin() < 1.0
+
+    def test_weak_cell_detected_parametrically(self):
+        cell = SramCell.fresh("c")
+        inject_defect(cell, "pass_gate_l", DefectKind.FIN_CRACK_PARTIAL, 0.3)
+        assert cell.is_weak()
+        assert not cell.is_functional_faulty()
+
+    def test_pull_down_crack_hidden_by_pass_gate_limit(self):
+        """A partial crack in the double-fin pull-down stays invisible:
+        the single-fin pass gate limits the read stack."""
+        cell = SramCell.fresh("c")
+        inject_defect(cell, "pull_down_l", DefectKind.FIN_CRACK_PARTIAL, 0.3)
+        assert not cell.is_weak()
+        assert not cell.is_functional_faulty()
+
+    def test_array_mismatch_seeded(self):
+        a = SramArray.build(4, 4, seed=7, vth_sigma=0.02)
+        b = SramArray.build(4, 4, seed=7, vth_sigma=0.02)
+        assert a.cell(0, 0).pull_up_l.vth == b.cell(0, 0).pull_up_l.vth
+
+
+class TestMarchAndDft:
+    def test_clean_array_passes_all_algorithms(self):
+        for algorithm in (MATS_PLUS, MARCH_C_MINUS, MARCH_SS):
+            array = SramArray.build(4, 8, seed=1)
+            assert run_march(array, algorithm).passed
+
+    def test_march_complexity_ordering(self):
+        assert MATS_PLUS.complexity < MARCH_C_MINUS.complexity < MARCH_SS.complexity
+
+    def test_march_catches_hard_defects(self):
+        array = SramArray.build(8, 16, seed=1)
+        defects = seed_defect_population(array, n_hard=5, n_weak=0, seed=3)
+        hard = [d.cell_name for d in defects]
+        cov, result = march_coverage(array, hard, MARCH_C_MINUS)
+        assert cov == 1.0
+        assert not result.passed
+
+    def test_march_blind_to_weak_defects(self):
+        array = SramArray.build(8, 16, seed=1)
+        defects = seed_defect_population(array, n_hard=0, n_weak=8, seed=3)
+        weak = [d.cell_name for d in defects]
+        cov, _result = march_coverage(array, weak, MARCH_C_MINUS)
+        assert cov == 0.0
+
+    def test_dft_flags_weak_cells(self):
+        array = SramArray.build(8, 16, seed=1)
+        seed_defect_population(array, n_hard=0, n_weak=8, seed=3)
+        result = current_sweep(array, seed=5)
+        truly_weak = set(array.weak_cells())
+        assert truly_weak & result.flagged == truly_weak
+
+    def test_combined_report_closes_gap(self):
+        array = SramArray.build(8, 16, seed=1)
+        defects = seed_defect_population(array, n_hard=5, n_weak=8, seed=3)
+        hard = [d.cell_name for d in defects if d.expected_class == "hard"]
+        weak = [d.cell_name for d in defects if d.expected_class == "weak"]
+        report = combined_test(array, hard, weak)
+        assert report.march_coverage_hard == 1.0
+        assert report.march_coverage_weak == 0.0
+        assert report.combined_coverage_weak > report.march_coverage_weak
+        assert report.dft_operations < report.march_operations
+
+    def test_bad_march_op_rejected(self):
+        from repro.memory import MarchElement, Order
+        with pytest.raises(ValueError):
+            MarchElement(Order.UP, ("q1",))
+
+
+@settings(max_examples=20, deadline=None)
+@given(years=st.floats(0.1, 20), duty=st.floats(0.0, 1.0),
+       temp=st.floats(-20, 150))
+def test_bti_always_nonnegative_and_bounded(years, duty, temp):
+    dvth = BtiModel().delta_vth_years(years, duty, temp)
+    assert 0.0 <= dvth < 1.0

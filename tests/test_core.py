@@ -1,0 +1,251 @@
+"""Tests for the holistic EDA framework: registry, flow, RIIF, campaigns,
+statistics and reporting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Aspect,
+    CampaignDb,
+    ComponentModel,
+    FailureModeSpec,
+    Flow,
+    FlowError,
+    Lead,
+    Registry,
+    RiifDocument,
+    RiifParseError,
+    Stage,
+    SystemModel,
+    ToolEntry,
+    clopper_pearson_interval,
+    default_registry,
+    emit_riif,
+    fit_from_rate,
+    fit_to_mtbf_hours,
+    format_bars,
+    format_kv,
+    format_table,
+    parse_riif,
+    required_injections,
+    scale_fit_per_mbit,
+    speedup,
+    wilson_interval,
+)
+
+
+class TestRegistry:
+    def test_default_registry_covers_all_aspects(self):
+        reg = default_registry()
+        totals = reg.aspect_totals()
+        assert all(totals[a.value] > 0 for a in Aspect)
+
+    def test_reliability_dominates_first_half(self):
+        """Fig. 1's visual: the reliability cluster is the largest."""
+        totals = default_registry().aspect_totals()
+        assert totals["reliability"] > totals["security"]
+        assert totals["reliability"] > totals["quality"]
+
+    def test_both_leads_present(self):
+        totals = default_registry().lead_totals()
+        assert totals["academia"] > 0 and totals["industry"] > 0
+
+    def test_duplicate_rejected(self):
+        reg = Registry()
+        entry = ToolEntry("x", (Aspect.QUALITY,), "III.A", Lead.ACADEMIA, "m")
+        reg.register(entry)
+        with pytest.raises(ValueError):
+            reg.register(entry)
+
+    def test_figure1_rows_sorted_by_weight(self):
+        rows = default_registry().figure1_data()
+        weights = [r[3] for r in rows]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestFlow:
+    def test_stages_execute_in_dependency_order(self):
+        flow = Flow()
+        flow.add_stage(Stage("c", ("b_out",), ("c_out",),
+                             lambda a: {"c_out": a["b_out"] + 1}))
+        flow.add_stage(Stage("a", (), ("a_out",), lambda a: {"a_out": 1}))
+        flow.add_stage(Stage("b", ("a_out",), ("b_out",),
+                             lambda a: {"b_out": a["a_out"] + 1}))
+        report = flow.run()
+        assert [s.name for s in report.stages] == ["a", "b", "c"]
+        assert report.artifacts["c_out"] == 3
+
+    def test_missing_artifact_raises(self):
+        flow = Flow()
+        flow.add_stage(Stage("x", ("ghost",), ("y",), lambda a: {"y": 1}))
+        with pytest.raises(FlowError, match="missing artifacts"):
+            flow.run()
+
+    def test_initial_artifacts_accepted(self):
+        flow = Flow()
+        flow.add_stage(Stage("x", ("seed",), ("y",),
+                             lambda a: {"y": a["seed"] * 2}))
+        report = flow.run({"seed": 21})
+        assert report.artifacts["y"] == 42
+
+    def test_double_producer_rejected(self):
+        flow = Flow()
+        flow.add_stage(Stage("a", (), ("out",), lambda a: {"out": 1}))
+        flow.add_stage(Stage("b", (), ("out",), lambda a: {"out": 2}))
+        with pytest.raises(FlowError, match="produced by both"):
+            flow.run()
+
+    def test_unproduced_artifact_detected(self):
+        flow = Flow()
+        flow.add_stage(Stage("a", (), ("out",), lambda a: {}))
+        with pytest.raises(FlowError, match="did not produce"):
+            flow.run()
+
+    def test_duplicate_stage_rejected(self):
+        flow = Flow()
+        flow.add_stage(Stage("a", (), (), lambda a: {}))
+        with pytest.raises(FlowError):
+            flow.add_stage(Stage("a", (), (), lambda a: {}))
+
+
+class TestRiif:
+    def _document(self) -> RiifDocument:
+        doc = RiifDocument()
+        doc.components["sram"] = ComponentModel(
+            "sram", {"bits": 8192, "derating": 0.25},
+            [FailureModeSpec("seu", 4.0), FailureModeSpec("sefi", 0.5, True)])
+        doc.components["flop_bank"] = ComponentModel(
+            "flop_bank", {"bits": 512},
+            [FailureModeSpec("seu", 0.25)])
+        doc.systems["soc"] = SystemModel(
+            "soc", [("l1", "sram", 2), ("pipeline", "flop_bank", 4)])
+        return doc
+
+    def test_roundtrip_exact(self):
+        doc = self._document()
+        assert emit_riif(parse_riif(emit_riif(doc))) == emit_riif(doc)
+
+    def test_system_fit_aggregates(self):
+        doc = self._document()
+        assert doc.system_fit("soc") == pytest.approx(2 * 4.5 + 4 * 0.25)
+
+    def test_bridge_to_fit_budget(self):
+        budget = self._document().to_fit_budget("soc")
+        assert budget.total_raw_fit == pytest.approx(10.0, rel=1e-6)
+        assert len(budget.components) == 2
+
+    def test_unknown_model_reference_rejected(self):
+        with pytest.raises(RiifParseError):
+            parse_riif("system s {\n  instance x : ghost * 1;\n}")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(RiifParseError):
+            parse_riif("component c {\n  banana;\n}")
+
+    def test_comments_ignored(self):
+        doc = parse_riif(
+            "component c { // a comment\n"
+            "  failure_mode seu fit=1.5; // another\n"
+            "}\n")
+        assert doc.components["c"].total_fit == 1.5
+
+
+class TestCampaignDb:
+    def test_summary_and_rates(self):
+        with CampaignDb() as db:
+            cid = db.create_campaign("c1", "s27", "seu", "wl")
+            db.record_many(cid, [("q0", 0, "failure"), ("q0", 1, "masked"),
+                                 ("q1", 0, "masked"), ("q1", 1, "latent")])
+            summary = db.summary(cid)
+            assert summary.total == 4
+            assert summary.rate("failure") == 0.25
+            avf = db.failure_rate_by_location(cid)
+            assert avf["q0"] == 0.5 and avf["q1"] == 0.0
+
+    def test_multiple_campaigns_isolated(self):
+        with CampaignDb() as db:
+            c1 = db.create_campaign("a", "x", "seu", "w")
+            c2 = db.create_campaign("b", "x", "set", "w")
+            db.record_many(c1, [("n", 0, "failure")])
+            db.record_many(c2, [("n", 0, "masked")])
+            assert db.summary(c1).outcomes == {"failure": 1}
+            assert db.summary(c2).outcomes == {"masked": 1}
+            assert db.campaigns_for("x") == [c1, c2]
+
+    def test_cross_campaign_histogram(self):
+        with CampaignDb() as db:
+            c1 = db.create_campaign("a", "x", "seu", "w")
+            db.record_many(c1, [("n", 0, "failure"), ("m", 1, "failure")])
+            assert db.cross_campaign_outcomes() == {"failure": 2}
+
+    def test_missing_campaign_raises(self):
+        with CampaignDb() as db:
+            with pytest.raises(KeyError):
+                db.summary(999)
+
+
+class TestStats:
+    def test_fit_conversions(self):
+        assert fit_from_rate(1, 1e9) == 1.0
+        assert fit_to_mtbf_hours(10.0) == 1e8
+        assert fit_to_mtbf_hours(0) == math.inf
+        assert scale_fit_per_mbit(500.0, 1 << 20) == pytest.approx(524.288)
+
+    def test_wilson_interval_contains_phat(self):
+        interval = wilson_interval(30, 100)
+        assert interval.low < 0.3 < interval.high
+        assert interval.contains(0.3)
+
+    def test_wilson_edge_cases(self):
+        assert wilson_interval(0, 50).low == 0.0
+        assert wilson_interval(50, 50).high == 1.0
+        assert wilson_interval(0, 0).width == 1.0
+
+    def test_clopper_pearson_wider_than_wilson(self):
+        wilson = wilson_interval(5, 40)
+        exact = clopper_pearson_interval(5, 40)
+        assert exact.width >= wilson.width - 1e-9
+
+    def test_required_injections(self):
+        assert required_injections(100_000, margin=0.05) < \
+            required_injections(100_000, margin=0.01)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == math.inf
+
+
+class TestReport:
+    def test_table_alignment(self):
+        table = format_table(["name", "value"], [("a", 1.5), ("bb", 2.0)])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+        assert "1.500" in table
+
+    def test_bars_scale(self):
+        chart = format_bars([("x", 10.0), ("y", 5.0)], width=10)
+        x_hashes = chart.splitlines()[0].count("#")
+        y_hashes = chart.splitlines()[1].count("#")
+        assert x_hashes == 10 and y_hashes == 5
+
+    def test_kv_block(self):
+        block = format_kv([("key", 1), ("longer_key", "v")], title="T")
+        assert block.startswith("T")
+        assert "longer_key : v" in block
+
+    def test_empty_inputs(self):
+        assert format_bars([], title="t") == "t"
+        assert format_kv([]) == ""
+
+
+@settings(max_examples=30, deadline=None)
+@given(successes=st.integers(0, 200), extra=st.integers(0, 200))
+def test_wilson_interval_bounds_property(successes, extra):
+    trials = successes + extra
+    interval = wilson_interval(successes, trials)
+    assert 0.0 <= interval.low <= interval.high <= 1.0
+    if trials:
+        assert interval.contains(successes / trials)

@@ -1,0 +1,148 @@
+"""Tests for fault models, universes, collapsing and sampling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import load
+from repro.circuit.library import random_combinational
+from repro.faults import (
+    DelayFault,
+    DelayFaultKind,
+    Line,
+    SETFault,
+    SEUFault,
+    StuckAtFault,
+    all_stuck_at,
+    collapse,
+    collapse_ratio,
+    draw_sample,
+    lines_of,
+    sample_size,
+    stratified_sample,
+)
+
+
+class TestModels:
+    def test_stuck_at_value_validated(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(Line("n"), 2)
+
+    def test_line_describe(self):
+        assert Line("n").describe() == "n"
+        assert Line("n", "g", 1).describe() == "n->g.1"
+        assert StuckAtFault(Line("n"), 1).describe() == "n s-a-1"
+
+    def test_ordering_stable(self):
+        faults = [StuckAtFault(Line("b"), 0), StuckAtFault(Line("a"), 1),
+                  StuckAtFault(Line("a", "g", 0), 0)]
+        ordered = sorted(faults)
+        assert ordered[0].line.net == "a"
+
+    def test_other_fault_kinds(self):
+        assert "SEU" in SEUFault("q1", 5).describe()
+        assert "SET" in SETFault("n1", 2.0, 0.5).describe()
+        assert "STR" in DelayFault("n1", DelayFaultKind.SLOW_TO_RISE).describe()
+
+
+class TestUniverse:
+    def test_c17_universe_size(self):
+        c17 = load("c17")
+        faults = all_stuck_at(c17)
+        # 11 stems (5 PI + 6 gates) + branches at fanout stems
+        sites = lines_of(c17)
+        assert len(faults) == 2 * len(sites)
+        branch_sites = [s for s in sites if not s.is_stem]
+        assert branch_sites  # N3, N11, N16 all have fanout > 1
+
+    def test_branches_only_on_fanout(self):
+        c17 = load("c17")
+        fmap = c17.fanout_map()
+        for site in lines_of(c17):
+            if not site.is_stem:
+                assert len(fmap[site.net]) > 1
+
+    def test_collapse_classes_partition_universe(self):
+        c17 = load("c17")
+        universe = set(all_stuck_at(c17))
+        reps, classes = collapse(c17)
+        members = [f for group in classes.values() for f in group]
+        assert set(members) == universe
+        assert len(members) == len(universe)  # no duplicates
+        assert set(reps) == set(classes)
+
+    def test_c17_collapse_ratio_textbook(self):
+        # the classic figure for c17 is 22 collapsed / 34 total ≈ 0.647
+        assert abs(collapse_ratio(load("c17")) - 22 / 34) < 1e-9
+
+    def test_inverter_chain_collapses_fully(self):
+        from repro.circuit import CircuitBuilder
+        bld = CircuitBuilder("chain")
+        net = bld.input("a")
+        for _ in range(4):
+            net = bld.not_(net)
+        bld.output(net)
+        c = bld.done()
+        reps, _classes = collapse(c)
+        # a pure inverter chain has exactly 2 equivalence classes
+        assert len(reps) == 2
+
+
+class TestSampling:
+    def test_sample_size_bounds(self):
+        n = sample_size(10_000, margin=0.01, confidence=0.95)
+        assert 4000 < n < 5000  # classic ~4899 for 1%@95%
+        assert sample_size(100, margin=0.01) == 100 or \
+            sample_size(100, margin=0.01) < 100
+
+    def test_sample_size_monotone_in_margin(self):
+        n_tight = sample_size(100_000, margin=0.01)
+        n_loose = sample_size(100_000, margin=0.05)
+        assert n_tight > n_loose
+
+    def test_sample_size_validates(self):
+        with pytest.raises(ValueError):
+            sample_size(100, margin=0.0)
+        with pytest.raises(ValueError):
+            sample_size(100, confidence=1.5)
+        assert sample_size(0) == 0
+
+    def test_draw_sample_deterministic(self):
+        pop = list(range(100))
+        assert draw_sample(pop, 10, seed=3) == draw_sample(pop, 10, seed=3)
+        assert draw_sample(pop, 200, seed=3) == pop
+
+    def test_stratified_sample_allocates_proportionally(self):
+        groups = {"big": list(range(90)), "small": list(range(10))}
+        alloc = stratified_sample(groups, 20, seed=1)
+        assert len(alloc["big"]) > len(alloc["small"])
+        assert len(alloc["small"]) >= 1
+        assert len(alloc["big"]) + len(alloc["small"]) == 20
+
+    def test_stratified_sample_empty_group(self):
+        alloc = stratified_sample({"a": [1, 2, 3], "b": []}, 2, seed=0)
+        assert alloc["b"] == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_collapse_is_partition(seed):
+    """Property: collapsing any circuit yields a partition of the universe."""
+    c = random_combinational(5, 20, 3, seed=seed)
+    universe = all_stuck_at(c)
+    reps, classes = collapse(c)
+    members = [f for group in classes.values() for f in group]
+    assert len(members) == len(universe)
+    assert set(members) == set(universe)
+    assert len(reps) <= len(universe)
+    for rep, group in classes.items():
+        assert rep in group
+
+
+@settings(max_examples=15, deadline=None)
+@given(population=st.integers(1, 10**7),
+       margin=st.floats(0.005, 0.2),
+       confidence=st.sampled_from([0.9, 0.95, 0.99]))
+def test_sample_size_never_exceeds_population(population, margin, confidence):
+    n = sample_size(population, margin, confidence)
+    assert 0 < n <= population

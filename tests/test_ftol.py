@@ -1,0 +1,256 @@
+"""Tests for ECC, redundancy, monitors and the cross-layer fault manager."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftol import (
+    Action,
+    AgingMonitor,
+    DecodeStatus,
+    EccMemory,
+    FaultEvent,
+    FaultKind,
+    Hamming,
+    Lockstep,
+    MeetInTheMiddle,
+    PulseStretchingDetector,
+    ScrubbingSchedule,
+    SramSeuMonitor,
+    TemperatureSensor,
+    Tmr,
+    make_transient_storm,
+    parity,
+    temporal_redundancy,
+    vote_majority,
+)
+
+
+class TestHamming:
+    @pytest.mark.parametrize("data_bits", [4, 8, 16])
+    def test_clean_roundtrip(self, data_bits):
+        code = Hamming(data_bits, extended=True)
+        for data in (0, 1, (1 << data_bits) - 1, 0x5 & ((1 << data_bits) - 1)):
+            result = code.decode(code.encode(data))
+            assert result.status is DecodeStatus.CLEAN
+            assert result.data == data
+
+    def test_all_single_errors_corrected(self):
+        code = Hamming(8, extended=True)
+        word = code.encode(0xA7)
+        for bit in range(code.code_bits):
+            result = code.decode(word ^ (1 << bit))
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == 0xA7
+
+    def test_all_double_errors_detected(self):
+        code = Hamming(8, extended=True)
+        word = code.encode(0x3C)
+        for b1, b2 in itertools.combinations(range(code.code_bits), 2):
+            result = code.decode(word ^ (1 << b1) ^ (1 << b2))
+            assert result.status is DecodeStatus.DETECTED
+
+    def test_non_extended_corrects_but_cannot_flag_doubles(self):
+        code = Hamming(4, extended=False)
+        word = code.encode(0xB)
+        for bit in range(code.code_bits):
+            assert code.decode(word ^ (1 << bit)).data == 0xB
+
+    def test_overhead_decreases_with_width(self):
+        assert Hamming(4).overhead() > Hamming(16).overhead()
+
+    def test_encode_range_checked(self):
+        with pytest.raises(ValueError):
+            Hamming(4).encode(16)
+
+    def test_parity_helper(self):
+        assert parity(0b1011, 4) == 1
+        assert parity(0b1001, 4) == 0
+
+
+class TestEccMemory:
+    def test_seu_corrected_and_counted(self):
+        mem = EccMemory(8, 8)
+        mem.write(2, 0x5A)
+        mem.inject_bitflips(2, [4])
+        result = mem.read(2)
+        assert result.data == 0x5A
+        assert mem.corrected_count == 1
+
+    def test_double_flip_detected(self):
+        mem = EccMemory(8, 8)
+        mem.write(0, 0xFF)
+        mem.inject_bitflips(0, [0, 5])
+        result = mem.read(0)
+        assert result.status is DecodeStatus.DETECTED
+        assert mem.detected_count == 1
+
+    def test_scrub_repairs(self):
+        mem = EccMemory(8, 8)
+        mem.write(1, 0x42)
+        mem.inject_bitflips(1, [3])
+        assert mem.scrub(1)
+        assert mem.read(1).status is DecodeStatus.CLEAN
+
+    def test_address_bounds(self):
+        mem = EccMemory(4, 8)
+        with pytest.raises(IndexError):
+            mem.read(4)
+        with pytest.raises(ValueError):
+            mem.inject_bitflips(0, [999])
+
+
+class TestRedundancy:
+    def test_tmr_masks_single_bad_replica(self):
+        t = Tmr([lambda: 7, lambda: 7, lambda: 9])
+        assert t() == 7
+        assert t.stats.voted_out == 1
+
+    def test_tmr_fails_without_majority(self):
+        t = Tmr([lambda: 1, lambda: 2, lambda: 3])
+        with pytest.raises(ValueError):
+            t()
+        assert t.stats.failures == 1
+
+    def test_tmr_requires_three(self):
+        with pytest.raises(ValueError):
+            Tmr([lambda: 1, lambda: 2])
+
+    def test_vote_majority(self):
+        assert vote_majority([1, 2, 1]) == 1
+        with pytest.raises(ValueError):
+            vote_majority([1, 2])
+
+    def test_lockstep_detects_with_delay_latency(self):
+        main = [0, 1, 99, 3, 4]
+        shadow = [0, 1, 2, 3, 4]
+        ls = Lockstep(lambda i: main[i], lambda i: shadow[i], delay=2)
+        for _ in range(5):
+            ls.step()
+        assert ls.detected
+        assert ls.detection_latency == 2
+        assert ls.events[0].step == 4  # compared index 2 at step 4
+
+    def test_lockstep_clean_run_silent(self):
+        ls = Lockstep(lambda i: i, lambda i: i, delay=1)
+        for _ in range(10):
+            ls.step()
+        assert not ls.detected
+        assert ls.detection_latency is None
+
+    def test_temporal_redundancy(self):
+        flaky = iter([1, 1, 2])
+        value, consistent = temporal_redundancy(lambda: 5, runs=3)
+        assert value == 5 and consistent
+        value, consistent = temporal_redundancy(lambda: next(flaky), runs=3)
+        assert not consistent
+        with pytest.raises(ValueError):
+            temporal_redundancy(lambda: 1, runs=1)
+
+    def test_scrubbing_quadratic_in_period(self):
+        slow = ScrubbingSchedule(1_000_000, 1e-9)
+        fast = ScrubbingSchedule(10_000, 1e-9)
+        ratio = slow.double_error_probability() / fast.double_error_probability()
+        assert ratio == pytest.approx((100) ** 2)
+
+
+class TestMonitors:
+    def test_seu_monitor_estimates_flux(self):
+        monitor = SramSeuMonitor(words=128, seed=2)
+        true_flux = 2e-5
+        landed = monitor.expose(true_flux, 5_000)
+        reading = monitor.sample(5_000)
+        # double hits on one bit cancel, so counted <= landed (and close)
+        assert reading.events <= landed
+        assert reading.events >= landed * 0.7
+        if landed > 5:
+            assert reading.value == pytest.approx(true_flux, rel=0.8)
+
+    def test_seu_monitor_pattern_restored(self):
+        monitor = SramSeuMonitor(words=16, seed=3)
+        monitor.expose(1e-3, 1000)
+        monitor.sample(1000)
+        second = monitor.sample(2000)
+        assert second.events == 0  # pattern was rewritten
+
+    def test_pulse_detector_sensitivity_scales_with_stages(self):
+        short = PulseStretchingDetector(stages=4)
+        long = PulseStretchingDetector(stages=18)
+        assert long.min_detectable_width() < short.min_detectable_width()
+
+    def test_pulse_detector_counts(self):
+        det = PulseStretchingDetector(stages=16)
+        assert det.strike(0.5)
+        assert not det.strike(0.05)
+        reading = det.sample(100)
+        assert reading.events == 1
+
+    def test_aging_monitor_tracks_vth(self):
+        mon = AgingMonitor()
+        mon.observe(0.02)
+        assert 0 < mon.degradation() < 0.2
+
+    def test_temperature_first_order(self):
+        sensor = TemperatureSensor()
+        hot = sensor.update(activity=1.0, cycles=100_000)
+        assert hot > 50
+        cooled = sensor.update(activity=0.0, cycles=1_000_000)
+        assert cooled < hot
+
+
+class TestMeetInTheMiddle:
+    def test_local_latency_much_lower_than_global(self):
+        units = ["alu", "lsu", "fpu"]
+        system = MeetInTheMiddle(units, local_latency=2, poll_period=500)
+        for event in make_transient_storm(units, 30, 20_000,
+                                          permanent_unit="fpu", seed=1):
+            system.inject(event)
+        latency = system.latency_stats()
+        assert latency["local"] <= 4
+        assert latency["global"] > 10 * latency["local"]
+
+    def test_permanent_unit_retired(self):
+        units = ["alu", "lsu", "fpu"]
+        system = MeetInTheMiddle(units, poll_period=300)
+        for event in make_transient_storm(units, 20, 20_000,
+                                          permanent_unit="fpu", seed=2):
+            system.inject(event)
+        assert "fpu" in system.manager.state.retired_units
+
+    def test_flux_spike_shortens_scrubbing(self):
+        from repro.ftol import MonitorReading
+        system = MeetInTheMiddle(["alu"])
+        before = system.manager.state.scrub_period
+        system.feed_monitors(1000, [MonitorReading(1000, "sram_seu", 1e-3, 9)])
+        assert system.manager.state.scrub_period < before
+
+    def test_aging_reading_reduces_frequency(self):
+        from repro.ftol import MonitorReading
+        system = MeetInTheMiddle(["alu"])
+        system.feed_monitors(500, [MonitorReading(500, "aging_ro", 0.08)])
+        assert system.manager.state.frequency_scale < 1.0
+
+    def test_unknown_unit_unhandled(self):
+        system = MeetInTheMiddle(["alu"])
+        record = system.inject(FaultEvent(10, "ghost", FaultKind.TRANSIENT))
+        assert record.layer == "unhandled"
+
+    def test_isolated_unit_stops_acting(self):
+        from repro.ftol import LocalHandler
+        handler = LocalHandler("alu")
+        handler.isolated = True
+        action, _ = handler.handle(FaultEvent(5, "alu", FaultKind.TRANSIENT))
+        assert action is Action.NONE
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.integers(0, 255), bit=st.integers(0, 12))
+def test_hamming_single_flip_roundtrip_property(data, bit):
+    """Property: any single flip of any codeword is corrected to the data."""
+    code = Hamming(8, extended=True)
+    word = code.encode(data)
+    result = code.decode(word ^ (1 << (bit % code.code_bits)))
+    assert result.data == data
+    assert result.status in (DecodeStatus.CORRECTED, DecodeStatus.CLEAN)

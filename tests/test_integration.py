@@ -1,0 +1,157 @@
+"""Cross-package integration tests: the holistic-flow wiring the paper
+motivates, exercised end to end."""
+
+import random
+
+import pytest
+
+from repro.atpg import generate_tests, random_tpg
+from repro.autosoc import APPLICATIONS, AutoSoC, SocConfig, UnitFault
+from repro.circuit import load
+from repro.core import CampaignDb, Flow, Stage
+from repro.faults import collapse
+from repro.safety import run_safety_campaign
+from repro.security import FaultAttackDetector
+from repro.sim import fault_simulate, pack_patterns
+from repro.soft_error import ComponentSER, FitBudget, random_workload, run_campaign
+
+
+class TestDetectorOnSocTraces:
+    """The III.F AI detector consuming real AutoSoC program-flow traces:
+    train on clean application runs, detect fault-injected runs."""
+
+    @pytest.fixture(scope="class")
+    def detector_and_app(self):
+        app = APPLICATIONS["cruise_control"]
+        clean_traces = []
+        for seed in range(24):
+            soc = AutoSoC(app.program(), SocConfig.QM)
+            result = soc.run(app.max_cycles)
+            # benign variation: truncate the tail by a few ops, as a
+            # supervisor sampling window would
+            cut = len(result.trace) - (seed % 3)
+            clean_traces.append(result.trace[:cut])
+        detector = FaultAttackDetector(epochs=200, seed=3,
+                                       threshold_percentile=99.0)
+        detector.fit(clean_traces)
+        return detector, app
+
+    def test_clean_runs_pass(self, detector_and_app):
+        detector, app = detector_and_app
+        result = AutoSoC(app.program(), SocConfig.QM).run(app.max_cycles)
+        assert not detector.is_attack(result.trace)
+
+    def test_branch_unit_fault_changes_flow_and_is_detected(self,
+                                                            detector_and_app):
+        detector, app = detector_and_app
+        rng = random.Random(5)
+        detections = 0
+        attempts = 0
+        for _ in range(12):
+            soc = AutoSoC(app.program(), SocConfig.QM)
+            cycle = rng.randrange(10, 120)
+            soc.inject_cpu_fault(UnitFault("branch", "transient", 0,
+                                           from_cycle=cycle,
+                                           to_cycle=cycle + 4))
+            result = soc.run(app.max_cycles)
+            golden = AutoSoC(app.program(), SocConfig.QM).run(app.max_cycles)
+            if result.trace == golden.trace:
+                continue  # fault did not alter control flow
+            attempts += 1
+            if detector.is_attack(result.trace):
+                detections += 1
+        assert attempts > 0
+        assert detections / attempts > 0.5
+
+
+class TestCampaignToDatabaseToBudget:
+    """SEU campaign → community database → FIT budget, one artifact chain."""
+
+    def test_chain(self):
+        circuit = load("rand_seq")
+        workload = random_workload(circuit, 12, seed=2)
+        campaign = run_campaign(circuit, workload, sample=100, seed=3)
+
+        with CampaignDb() as db:
+            cid = db.create_campaign("seu", circuit.name, "seu", "rand12")
+            db.record_many(cid, [(i.flop, i.cycle, i.outcome)
+                                 for i in campaign.injections])
+            summary = db.summary(cid)
+            assert summary.total == 100
+            avf_from_db = summary.rate("failure")
+
+        assert avf_from_db == pytest.approx(campaign.failure_rate)
+        budget = FitBudget("ASIL-B").add(ComponentSER(
+            "state", len(circuit.flops) * 64, "28nm",
+            functional_derating=avf_from_db))
+        assert budget.total_effective_fit > 0
+
+
+class TestAtpgFeedsSafetyCampaign:
+    """Quality artifacts (test patterns) reused as the safety workload."""
+
+    def test_patterns_drive_classification(self):
+        circuit = load("alu4")
+        faults, _ = collapse(circuit)
+        rt = random_tpg(circuit, faults, max_patterns=96, seed=4)
+        extra, _unt, _ab = generate_tests(circuit, rt.remaining)
+        patterns = rt.patterns + extra
+        packed = pack_patterns(patterns)
+
+        mission = [f"y{i}" for i in range(4)]
+        result = run_safety_campaign(
+            circuit, faults[:80], mission_outputs=mission,
+            detection_outputs=["cout"], patterns=packed,
+            n_patterns=len(patterns))
+        assert result.metrics is not None
+        assert len(result.classified) == 80
+        assert 0.0 <= result.metrics.spfm <= 1.0
+
+
+class TestFlowComposesAllLayers:
+    def test_three_aspect_flow(self):
+        flow = Flow("mini-holistic")
+        flow.add_stage(Stage("design", (), ("circuit",),
+                             lambda a: {"circuit": load("s27")}, "quality"))
+
+        def quality(art):
+            c = art["circuit"]
+            faults, _ = collapse(c)
+            patterns, untestable, _ab = generate_tests(c, faults)
+            packed = pack_patterns(patterns)
+            sim = fault_simulate(c, faults, packed, len(patterns),
+                                 state=packed)
+            return {"coverage": sim.coverage,
+                    "untestable": len(untestable)}
+
+        flow.add_stage(Stage("atpg", ("circuit",),
+                             ("coverage", "untestable"), quality, "quality"))
+
+        def reliability(art):
+            c = art["circuit"]
+            campaign = run_campaign(c, random_workload(c, 8, seed=1))
+            return {"avf": campaign.failure_rate}
+
+        flow.add_stage(Stage("seu", ("circuit",), ("avf",), reliability,
+                             "reliability"))
+        report = flow.run()
+        assert report.artifacts["coverage"] == 1.0
+        assert 0.0 <= report.artifacts["avf"] <= 1.0
+        assert [s.name for s in report.stages][0] == "design"
+
+
+class TestVerilogInterchange:
+    """Emit a generated design, re-import it, and reproduce the analysis —
+    the 'open formats' requirement of IV.A."""
+
+    def test_same_coverage_after_roundtrip(self):
+        from repro.circuit import emit_verilog, parse_verilog
+        original = load("mul4")
+        reimported = parse_verilog(emit_verilog(original))
+        for circuit in (original, reimported):
+            faults, _ = collapse(circuit)
+            rt = random_tpg(circuit, faults, max_patterns=64, seed=9)
+            assert rt.coverage > 0.9
+        faults_a, _ = collapse(original)
+        faults_b, _ = collapse(reimported)
+        assert len(faults_a) == len(faults_b)

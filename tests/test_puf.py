@@ -1,0 +1,173 @@
+"""Tests for the SRAM PUF framework: simulation, metrics, analytics, keys."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.puf import (
+    FINFET_16NM,
+    FuzzyExtractor,
+    FuzzyExtractorConfig,
+    PLANAR_28NM,
+    SramPuf,
+    dark_bit_gain,
+    expected_ber,
+    fractional_hd,
+    inter_device_hd,
+    intra_device_hd,
+    key_failure_rate,
+    make_population,
+    min_entropy_per_bit,
+    predicted_intra_hd,
+    predicted_key_failure,
+    scorecard,
+    uniformity,
+)
+
+
+class TestSramPufSimulation:
+    def test_identity_is_device_stable(self):
+        puf = SramPuf(256, FINFET_16NM, device_seed=1)
+        r1 = puf.power_up(noise_seed=0)
+        r2 = puf.power_up(noise_seed=0)
+        assert np.array_equal(r1, r2)  # same noise seed → same readout
+
+    def test_different_devices_differ(self):
+        a = SramPuf(256, FINFET_16NM, device_seed=1).reference_response()
+        b = SramPuf(256, FINFET_16NM, device_seed=2).reference_response()
+        assert 0.3 < fractional_hd(a, b) < 0.7
+
+    def test_noise_causes_occasional_flips(self):
+        puf = SramPuf(2048, FINFET_16NM, device_seed=3)
+        reference = puf.reference_response()
+        distances = [fractional_hd(reference, puf.power_up())
+                     for _ in range(5)]
+        assert all(0 < d < 0.2 for d in distances)
+
+    def test_temperature_increases_intra_hd(self):
+        puf = SramPuf(2048, FINFET_16NM, device_seed=4)
+        cold = intra_device_hd(puf, 10, temp_c=25.0)
+        hot = intra_device_hd(puf, 10, temp_c=85.0)
+        assert hot >= cold
+
+    def test_stability_mask_reduces_flips(self):
+        puf = SramPuf(4096, FINFET_16NM, device_seed=5)
+        mask = puf.stability_mask()
+        reference = puf.reference_response()
+        readout = puf.power_up()
+        flips_masked = np.mean(reference[mask] != readout[mask])
+        flips_all = np.mean(reference != readout)
+        assert flips_masked <= flips_all
+        assert 0.5 < mask.mean() < 1.0
+
+
+class TestMetrics:
+    @pytest.fixture(scope="class")
+    def population(self):
+        return make_population(6, 1024, FINFET_16NM, base_seed=1)
+
+    def test_uniqueness_near_half(self, population):
+        assert 0.45 < inter_device_hd(population) < 0.55
+
+    def test_uniformity_near_half(self, population):
+        values = [uniformity(p) for p in population]
+        assert all(0.4 < v < 0.6 for v in values)
+
+    def test_min_entropy_positive(self, population):
+        assert 0.3 < min_entropy_per_bit(population) <= 1.0
+
+    def test_scorecard_temperature_trend(self, population):
+        card = scorecard(population, n_readouts=5)
+        assert card.intra_hd_25c < card.intra_hd_hot
+        assert card.intra_hd_25c < 0.05
+
+    def test_hd_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fractional_hd(np.zeros(4), np.zeros(5))
+
+
+class TestAnalyticalModel:
+    def test_closed_form_matches_simulation(self):
+        """The (1/π)·arctan(σn/σm) integral vs Monte-Carlo intra-HD."""
+        predicted = predicted_intra_hd(FINFET_16NM, 25.0)
+        puf = SramPuf(8192, FINFET_16NM, device_seed=9)
+        simulated = intra_device_hd(puf, 12, temp_c=25.0)
+        assert simulated == pytest.approx(predicted, rel=0.3)
+
+    def test_model_tracks_temperature(self):
+        predicted_hot = predicted_intra_hd(FINFET_16NM, 85.0)
+        predicted_cold = predicted_intra_hd(FINFET_16NM, 25.0)
+        assert predicted_hot > predicted_cold
+
+    def test_finfet_beats_planar(self):
+        assert predicted_intra_hd(FINFET_16NM, 85.0) < \
+            predicted_intra_hd(PLANAR_28NM, 85.0)
+
+    def test_expected_ber_limits(self):
+        assert expected_ber(0.0, 1.0) == 0.5    # no identity: coin flips
+        assert expected_ber(100.0, 1e-9) < 1e-6  # strong identity: stable
+        assert expected_ber(1.0, 0.0) == 0.0
+
+    def test_key_failure_grows_with_temperature(self):
+        cold = predicted_key_failure(FINFET_16NM, 25.0, 2, 7, 32)
+        hot = predicted_key_failure(FINFET_16NM, 105.0, 2, 7, 32)
+        assert hot >= cold
+
+    def test_dark_bit_masking_large_gain(self):
+        assert dark_bit_gain(FINFET_16NM) > 10.0
+
+
+class TestFuzzyExtractor:
+    @pytest.fixture(scope="class")
+    def enrolled(self):
+        extractor = FuzzyExtractor(FuzzyExtractorConfig(key_nibbles=16,
+                                                        repetition=5))
+        puf = SramPuf(extractor.config.response_bits, FINFET_16NM,
+                      device_seed=42)
+        key, helper = extractor.enroll(puf.reference_response(), secret_seed=7)
+        return extractor, puf, key, helper
+
+    def test_reconstruction_at_nominal(self, enrolled):
+        extractor, puf, key, helper = enrolled
+        assert extractor.reconstruct(puf.power_up(25.0), helper) == key
+
+    def test_reconstruction_across_temperature(self, enrolled):
+        extractor, puf, key, helper = enrolled
+        rate_hot = key_failure_rate(puf, helper, key, extractor,
+                                    n_trials=20, temp_c=85.0)
+        assert rate_hot < 0.2
+
+    def test_key_is_256_bit_digest(self, enrolled):
+        _extractor, _puf, key, _helper = enrolled
+        assert len(key) == 32
+
+    def test_different_devices_fail_reconstruction(self, enrolled):
+        extractor, _puf, key, helper = enrolled
+        imposter = SramPuf(extractor.config.response_bits, FINFET_16NM,
+                           device_seed=4242)
+        assert extractor.reconstruct(imposter.power_up(), helper) != key
+
+    def test_short_response_rejected(self, enrolled):
+        extractor, _puf, _key, helper = enrolled
+        with pytest.raises(ValueError):
+            extractor.reconstruct(np.zeros(8, dtype=np.uint8), helper)
+
+    def test_helper_data_alone_insufficient(self, enrolled):
+        """All-zero 'response' plus helper data must not yield the key."""
+        extractor, _puf, key, helper = enrolled
+        zeros = np.zeros(extractor.config.response_bits, dtype=np.uint8)
+        assert extractor.reconstruct(zeros, helper) != key
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_enroll_reconstruct_roundtrip_property(seed):
+    """Property: enrollment response reconstructs its own key exactly."""
+    extractor = FuzzyExtractor(FuzzyExtractorConfig(key_nibbles=8,
+                                                    repetition=3))
+    puf = SramPuf(extractor.config.response_bits, FINFET_16NM,
+                  device_seed=seed)
+    response = puf.reference_response()
+    key, helper = extractor.enroll(response, secret_seed=seed)
+    assert extractor.reconstruct(response, helper) == key

@@ -1,0 +1,295 @@
+"""Tests for IEEE 1687-style reconfigurable scan networks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rsn import (
+    CellStuck,
+    Mux,
+    MuxSelStuck,
+    Reg,
+    RsnError,
+    Segment,
+    Sib,
+    SibStuck,
+    RSN,
+    age_network,
+    all_rsn_faults,
+    build_signature_table,
+    chain,
+    check_equivalence,
+    compact_test,
+    compare_strategies,
+    coverage,
+    detects,
+    diagnostic_test,
+    emit_icl,
+    equivalent,
+    exhaustive_test,
+    mitigate_with_dummy_cycles,
+    naive_access_cost,
+    parse_icl,
+    random_network,
+    retarget,
+    route_requirements,
+    sib_tree,
+)
+from repro.rsn.test_gen import full_flat_length
+
+
+def _mux_network() -> RSN:
+    """r_sel steers a 2-branch mux; r_a / r_b are the branch payloads."""
+    return RSN("muxnet", Segment([
+        Reg("r_sel", 1),
+        Mux("m1", "r_sel", [Segment([Reg("r_a", 4)]),
+                            Segment([Reg("r_b", 4)])]),
+    ]))
+
+
+class TestNetworkBasics:
+    def test_flat_chain_csu(self):
+        net = chain("flat", Reg("r1", 4), Reg("r2", 4))
+        net.reset()
+        assert net.path_length() == 8
+        net.csu([1, 0, 1, 1, 0, 0, 1, 0])
+        # cell i receives tdi[L-1-i]
+        assert net.read_register("r1") == 0b0010
+        assert net.read_register("r2") == 0b1011
+
+    def test_csu_length_enforced(self):
+        net = chain("flat", Reg("r1", 4))
+        net.reset()
+        with pytest.raises(RsnError):
+            net.csu([1, 0])
+
+    def test_sib_reconfigures_path(self):
+        tree = sib_tree(depth=1, regs_per_leaf=1, reg_bits=4)
+        tree.reset()
+        closed_len = tree.path_length()
+        retarget(tree, {"r1": 0xF})
+        assert tree.path_length() > closed_len
+        assert tree.read_register("r1") == 0xF
+
+    def test_capture_reads_instrument_value(self):
+        reg = Reg("r1", 8, capture_value=0xC3)
+        net = chain("cap", reg)
+        net.reset()
+        tdo = net.csu([0] * 8)
+        observed = sum(bit << (7 - i) for i, bit in enumerate(tdo))
+        assert observed == 0xC3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(RsnError):
+            chain("dup", Reg("r", 4), Reg("r", 4))
+
+    def test_mux_steers_branch(self):
+        net = _mux_network()
+        net.reset()
+        assert net.path_length() == 1 + 4  # sel + branch A
+        retarget(net, {"r_b": 0x5})
+        assert net.read_register("r_b") == 0x5
+        assert net.node("r_sel").update_latch % 2 == 1
+
+    def test_state_signature_lists_cells(self):
+        tree = sib_tree(depth=2)
+        sig = tree.state_signature()
+        assert set(sig) == {n for n, node in tree.registry.items()
+                            if not isinstance(node, Mux)}
+
+
+class TestRetargeting:
+    def test_deep_register_reachable(self):
+        tree = sib_tree(depth=3, regs_per_leaf=1, reg_bits=8)
+        tree.reset()
+        result = retarget(tree, {"r5": 0xA5})
+        assert result.success
+        assert tree.read_register("r5") == 0xA5
+
+    def test_multiple_targets_one_session(self):
+        tree = sib_tree(depth=2, regs_per_leaf=1, reg_bits=8)
+        tree.reset()
+        result = retarget(tree, {"r1": 0x11, "r4": 0x44})
+        assert result.success
+        assert tree.read_register("r1") == 0x11
+        assert tree.read_register("r4") == 0x44
+
+    def test_optimized_cheaper_than_flatten(self):
+        tree = sib_tree(depth=3, regs_per_leaf=1, reg_bits=8)
+        tree.reset()
+        optimized = retarget(tree, {"r5": 0xA5}).shift_cycles
+        naive = naive_access_cost(sib_tree(depth=3, regs_per_leaf=1, reg_bits=8),
+                                  {"r5": 0xA5})
+        assert optimized < naive
+
+    def test_route_requirements_ordered(self):
+        tree = sib_tree(depth=2)
+        reqs = route_requirements(tree, "r1")
+        assert all(r.kind == "sib_open" for r in reqs)
+        assert len(reqs) == 2  # two SIB levels guard the leaf
+
+    def test_unknown_target_raises(self):
+        tree = sib_tree(depth=1)
+        with pytest.raises(RsnError):
+            route_requirements(tree, "ghost")
+
+    def test_untouched_registers_keep_values(self):
+        tree = sib_tree(depth=2, regs_per_leaf=1, reg_bits=8)
+        tree.reset()
+        retarget(tree, {"r1": 0xAB})
+        retarget(tree, {"r2": 0xCD})
+        assert tree.read_register("r1") == 0xAB  # first write survived
+
+
+class TestIcl:
+    def test_roundtrip_tree(self):
+        tree = sib_tree(depth=2)
+        parsed = parse_icl(emit_icl(tree))
+        assert emit_icl(parsed) == emit_icl(tree)
+
+    def test_roundtrip_mux(self):
+        net = _mux_network()
+        parsed = parse_icl(emit_icl(net))
+        assert emit_icl(parsed) == emit_icl(net)
+
+    def test_parse_rejects_unknown_control(self):
+        from repro.rsn import IclParseError
+        with pytest.raises(IclParseError):
+            parse_icl("network x\n  mux m ctrl=ghost\n    branch\n"
+                      "      reg a 4\n    branch\n      reg b 4\n")
+
+    def test_parse_rejects_garbage(self):
+        from repro.rsn import IclParseError
+        with pytest.raises(IclParseError):
+            parse_icl("network x\n  flipflop q\n")
+
+
+class TestEquivalence:
+    def test_icl_matches_model(self):
+        make = lambda: sib_tree(depth=2)
+        text = emit_icl(make())
+        assert equivalent(make, lambda: parse_icl(text))
+
+    def test_wrong_register_length_caught(self):
+        def mutated():
+            net = sib_tree(depth=2)
+            net.node("r1").length = 9
+            return net
+        mismatch = check_equivalence(lambda: sib_tree(depth=2), mutated)
+        assert mismatch is not None
+        assert mismatch.phase in ("path_length", "tdo")
+
+    def test_swapped_mux_branches_caught(self):
+        def swapped():
+            net = _mux_network()
+            mux = net.node("m1")
+            mux.branches.reverse()
+            return net
+        mismatch = check_equivalence(_mux_network, swapped)
+        assert mismatch is not None
+
+
+class TestTestGeneration:
+    FACTORY = staticmethod(lambda: sib_tree(depth=2, regs_per_leaf=1, reg_bits=4))
+
+    def test_both_strategies_full_coverage(self):
+        faults = all_rsn_faults(self.FACTORY())
+        comparison = compare_strategies(self.FACTORY, faults)
+        assert comparison.exhaustive_coverage == 1.0
+        assert comparison.compact_coverage == 1.0
+
+    def test_compact_is_shorter(self):
+        faults = all_rsn_faults(self.FACTORY())
+        comparison = compare_strategies(self.FACTORY, faults)
+        assert comparison.duration_reduction > 0.5
+
+    def test_detects_specific_faults(self):
+        test = compact_test(self.FACTORY)
+        assert detects(self.FACTORY, SibStuck("s1", False), test)
+        assert detects(self.FACTORY, SibStuck("s1", True), test)
+        assert detects(self.FACTORY, CellStuck("r1", 0, 1), test)
+
+    def test_mux_fault_needs_select_toggle(self):
+        faults = [MuxSelStuck("m1", 0), MuxSelStuck("m1", 1)]
+        test = compact_test(_mux_network)
+        cov = coverage(_mux_network, faults, test)
+        assert 0.0 <= cov <= 1.0  # compact test may not toggle selects
+
+    def test_flat_length_accounts_everything(self):
+        tree = sib_tree(depth=2, regs_per_leaf=1, reg_bits=4)
+        # 6 SIBs + 4 leaf regs × 4 bits
+        assert full_flat_length(tree) == 6 + 16
+
+
+class TestDiagnosis:
+    def test_resolution_reasonable(self):
+        factory = lambda: sib_tree(depth=2, regs_per_leaf=1, reg_bits=4)
+        faults = all_rsn_faults(factory())
+        table = build_signature_table(factory, faults, compact_test(factory))
+        assert table.detected_fraction() == 1.0
+        assert 1.0 <= table.resolution() < 3.0
+
+    def test_candidates_contain_true_fault(self):
+        factory = lambda: sib_tree(depth=2, regs_per_leaf=1, reg_bits=4)
+        faults = all_rsn_faults(factory())
+        test = compact_test(factory)
+        table = build_signature_table(factory, faults, test)
+        fault = SibStuck("s2", False)
+        candidates = table.candidates(table.signatures[fault])
+        assert fault in candidates
+
+    def test_diagnostic_refinement_never_worse(self):
+        factory = lambda: sib_tree(depth=2, regs_per_leaf=1, reg_bits=4)
+        faults = all_rsn_faults(factory())
+        base = compact_test(factory)
+        base_table = build_signature_table(factory, faults, base)
+        _test, refined = diagnostic_test(factory, faults, base,
+                                         max_extra_rounds=4)
+        assert refined.resolution() <= base_table.resolution()
+
+
+class TestRsnAging:
+    def test_idle_segments_age_most(self):
+        tree = sib_tree(depth=2)
+        usage = {name: 0.01 for name in tree.registry}
+        usage["s1"] = 0.9  # one hot segment
+        report = age_network(tree, usage, years=10)
+        hot = report.cell_stress["s1"]
+        cold = max(v for k, v in report.cell_stress.items() if k != "s1")
+        assert hot < cold
+
+    def test_mitigation_reduces_slowdown(self):
+        tree = sib_tree(depth=2)
+        usage = {name: 0.02 for name in tree.registry}
+        before, after = mitigate_with_dummy_cycles(tree, usage,
+                                                   dummy_fraction=0.15)
+        assert after.max_shift_slowdown < before.max_shift_slowdown
+        assert after.frequency_loss_percent() < before.frequency_loss_percent()
+
+    def test_aging_grows_with_years(self):
+        tree = sib_tree(depth=1)
+        usage = {name: 0.0 for name in tree.registry}
+        early = age_network(tree, usage, years=1)
+        late = age_network(tree, usage, years=10)
+        assert late.max_shift_slowdown > early.max_shift_slowdown
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_random_network_csu_stable(seed):
+    """Property: a full-length CSU never crashes and preserves path length
+    until update reconfigures it deterministically."""
+    net = random_network(12, seed=seed)
+    net.reset()
+    length = net.path_length()
+    assert length > 0
+    tdo = net.csu([1] * length)
+    assert len(tdo) == length
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_icl_roundtrip_random_networks(seed):
+    net = random_network(14, seed=seed)
+    parsed = parse_icl(emit_icl(net))
+    assert emit_icl(parsed) == emit_icl(net)

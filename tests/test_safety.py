@@ -1,0 +1,230 @@
+"""Tests for ISO 26262 metrics, FMECA, tool confidence and FI slicing."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, load
+from repro.faults import all_stuck_at, collapse
+from repro.safety import (
+    ClassifiedFault,
+    FailureMode,
+    FaultClass,
+    Fmeca,
+    atpg_classifier,
+    buggy_drops_branch_faults,
+    buggy_optimistic,
+    classify_from_injection,
+    compute_metrics,
+    cross_check,
+    default_engines,
+    diagnostic_coverage,
+    formal_classifier,
+    occurrence_from_fit,
+    run_naive_campaign,
+    run_safety_campaign,
+    run_sliced_campaign,
+    verify_equivalence,
+)
+from repro.soft_error import random_workload
+
+
+class TestIso26262:
+    def test_perfect_mechanism_metrics(self):
+        faults = [ClassifiedFault(f"f{i}", FaultClass.DETECTED) for i in range(10)]
+        metrics = compute_metrics(faults)
+        assert metrics.spfm == 1.0
+        assert metrics.meets("ASIL-D")
+
+    def test_residuals_degrade_spfm(self):
+        faults = ([ClassifiedFault(f"d{i}", FaultClass.DETECTED) for i in range(90)]
+                  + [ClassifiedFault(f"r{i}", FaultClass.RESIDUAL) for i in range(10)])
+        metrics = compute_metrics(faults)
+        assert metrics.spfm == pytest.approx(0.90)
+        assert metrics.meets("ASIL-B")
+        assert not metrics.meets("ASIL-D")
+
+    def test_latents_degrade_lfm_only(self):
+        faults = ([ClassifiedFault(f"d{i}", FaultClass.DETECTED) for i in range(8)]
+                  + [ClassifiedFault("l", FaultClass.LATENT, fit=2.0)])
+        metrics = compute_metrics(faults)
+        assert metrics.spfm == 1.0
+        assert metrics.lfm < 1.0
+
+    def test_empty_fault_list(self):
+        metrics = compute_metrics([])
+        assert metrics.spfm == 1.0 and metrics.lfm == 1.0
+
+    def test_gap_signs(self):
+        faults = [ClassifiedFault("r", FaultClass.RESIDUAL, fit=50.0),
+                  ClassifiedFault("d", FaultClass.DETECTED, fit=50.0)]
+        gap = compute_metrics(faults).gap("ASIL-D")
+        assert gap["spfm"] < 0 and gap["pmhf_fit"] < 0
+
+    def test_diagnostic_coverage(self):
+        faults = [ClassifiedFault("d", FaultClass.DETECTED, 3.0),
+                  ClassifiedFault("r", FaultClass.RESIDUAL, 1.0)]
+        assert diagnostic_coverage(faults) == pytest.approx(0.75)
+
+    def test_classification_decision_tree(self):
+        assert classify_from_injection("a", True, True).fault_class \
+            is FaultClass.DETECTED
+        assert classify_from_injection("b", True, False).fault_class \
+            is FaultClass.RESIDUAL
+        assert classify_from_injection("c", False, True).fault_class \
+            is FaultClass.LATENT_DETECTED
+        assert classify_from_injection("d", False, False).fault_class \
+            is FaultClass.SAFE
+        assert classify_from_injection("e", False, False,
+                                       found_by_selftest=False).fault_class \
+            is FaultClass.LATENT
+
+
+class TestFmeca:
+    def test_rpn_and_ranking(self):
+        sheet = Fmeca("ecu")
+        sheet.add(FailureMode("cpu", "seu", "crash", 9, 4, 5))
+        sheet.add(FailureMode("can", "crc", "drop", 3, 2, 2))
+        ranked = sheet.ranked()
+        assert ranked[0].component == "cpu"
+        assert ranked[0].rpn == 180
+
+    def test_score_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            FailureMode("x", "m", "e", 0, 5, 5)
+        with pytest.raises(ValueError):
+            FailureMode("x", "m", "e", 5, 11, 5)
+
+    def test_occurrence_from_fit_decades(self):
+        assert occurrence_from_fit(0.01) == 1
+        assert occurrence_from_fit(5) == 3
+        assert occurrence_from_fit(1e9) == 10
+        assert occurrence_from_fit(0.5) < occurrence_from_fit(500)
+
+    def test_threshold_filter(self):
+        sheet = Fmeca("s")
+        sheet.add(FailureMode("a", "m", "e", 10, 10, 10))
+        sheet.add(FailureMode("b", "m", "e", 2, 2, 2))
+        assert len(sheet.above_threshold(100)) == 1
+
+    def test_mitigation_effect(self):
+        sheet = Fmeca("s")
+        sheet.add(FailureMode("sram", "retention", "stale", 7, 5, 8))
+        effect = sheet.mitigation_effect("sram", new_detection=2)
+        assert effect["rpn_after"] < effect["rpn_before"]
+        assert effect["reduction"] == 7 * 5 * (8 - 2)
+
+    def test_criticality_matrix(self):
+        sheet = Fmeca("s")
+        sheet.add(FailureMode("a", "m", "e", 7, 5, 3))
+        grid = sheet.criticality_matrix()
+        assert (7, 5) in grid
+
+
+class TestToolConfidence:
+    def test_clean_engines_agree(self):
+        c17 = load("c17")
+        reps, _ = collapse(c17)
+        report = cross_check(c17, reps, default_engines())
+        assert not report.hard_disagreements
+        matrix = report.agreement_matrix()
+        assert matrix[("atpg", "formal")] == 1.0
+
+    def test_seeded_bug_caught(self):
+        c17 = load("c17")
+        reps, _ = collapse(c17)
+        engines = default_engines()
+        engines["buggy"] = buggy_drops_branch_faults(atpg_classifier)
+        report = cross_check(c17, reps, engines)
+        assert report.tool_bug_suspected
+        # every hard disagreement involves a branch fault
+        for fault, votes in report.hard_disagreements:
+            assert not fault.line.is_stem
+            assert votes["buggy"] == "undetectable"
+
+    def test_optimistic_bug_caught(self):
+        bld = CircuitBuilder("red")
+        a = bld.input("a")
+        na = bld.not_(a)
+        bld.output(bld.and_(a, na, name="y"))
+        red = bld.done()
+        faults = all_stuck_at(red)
+        engines = {"formal": formal_classifier,
+                   "buggy": buggy_optimistic(formal_classifier, every=1)}
+        report = cross_check(red, faults, engines)
+        assert report.tool_bug_suspected
+
+    def test_formal_engine_size_guard(self):
+        big = load("rca16")  # 33 pseudo inputs
+        with pytest.raises(ValueError):
+            formal_classifier(big, [])
+
+    def test_fi_soft_disagreements_allowed(self):
+        """Random FI may miss faults; that is soft, never hard."""
+        c = load("mul4")
+        reps, _ = collapse(c)
+        report = cross_check(c, reps[:40], default_engines())
+        assert not report.hard_disagreements
+
+
+class TestSlicing:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        circuit = load("rand_seq")
+        reps, _ = collapse(circuit)
+        workload = random_workload(circuit, 10, seed=21)
+        return circuit, reps[:40], workload
+
+    def test_sliced_equals_naive(self, setup):
+        circuit, faults, workload = setup
+        naive = run_naive_campaign(circuit, faults, workload)
+        sliced = run_sliced_campaign(circuit, faults, workload)
+        assert verify_equivalence(naive, sliced)
+
+    def test_slicing_skips_work(self, setup):
+        circuit, faults, workload = setup
+        naive = run_naive_campaign(circuit, faults, workload)
+        sliced = run_sliced_campaign(circuit, faults, workload)
+        assert sliced.simulated < naive.simulated
+        assert sliced.skip_fraction > 0.2
+        assert sliced.speedup_estimate() > 1.2
+
+    def test_outcome_classes_valid(self, setup):
+        circuit, faults, workload = setup
+        outcome = run_sliced_campaign(circuit, faults, workload)
+        assert set(outcome.classifications.values()) <= \
+            {"masked", "failure", "latent"}
+
+    def test_campaign_totals(self, setup):
+        circuit, faults, workload = setup
+        outcome = run_sliced_campaign(circuit, faults, workload)
+        assert outcome.total == len(faults) * len(workload)
+
+
+class TestSafetyCampaign:
+    def test_lockstep_comparator_classification(self):
+        """A mission path plus a duplicated compare path: faults on the
+        mission path are DETECTED (comparator fires), comparator-internal
+        faults are LATENT_DETECTED or SAFE."""
+        bld = CircuitBuilder("guarded")
+        a, b = bld.input("a"), bld.input("b")
+        mission = bld.xor(a, b, name="mission")
+        shadow = bld.xor(a, b, name="shadow")
+        bld.output(mission)
+        bld.output(bld.xor(mission, shadow, name="alarm"))
+        c = bld.done()
+        from repro.sim import exhaustive_patterns
+        packed, n = exhaustive_patterns(c.inputs)
+        faults = all_stuck_at(c)
+        result = run_safety_campaign(
+            c, faults, mission_outputs=["mission"],
+            detection_outputs=["alarm"], patterns=packed, n_patterns=n)
+        assert result.metrics is not None
+        counts = {fc: result.count(fc) for fc in FaultClass}
+        assert counts[FaultClass.DETECTED] > 0
+        assert counts[FaultClass.LATENT_DETECTED] > 0
+        # the only residuals are common-mode faults on the shared inputs:
+        # both copies see them identically, so duplication cannot flag them
+        residual_names = [f.name for f in result.classified
+                          if f.fault_class is FaultClass.RESIDUAL]
+        assert residual_names
+        assert all(name.startswith(("a ", "b ")) for name in residual_names)
+        assert result.metrics.spfm < 1.0

@@ -1,0 +1,278 @@
+"""Tests for the simulation engines: bit-parallel, 3-valued, sequential,
+event-driven, fault simulation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import CircuitBuilder, GateType, load
+from repro.circuit.library import random_combinational
+from repro.faults import Line, StuckAtFault, all_stuck_at, collapse
+from repro.sim import (
+    EventSim,
+    SequentialSim,
+    X,
+    eval_gate_3v,
+    exhaustive_patterns,
+    fault_simulate,
+    mask_of,
+    output_trace,
+    pack_patterns,
+    random_patterns,
+    sequential_fault_simulate,
+    simulate,
+    simulate_3v,
+    unpack_patterns,
+)
+
+
+class TestBitParallel:
+    def test_pack_unpack_roundtrip(self):
+        pats = [{"a": 1, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 1}]
+        packed = pack_patterns(pats)
+        assert unpack_patterns(packed, 3) == pats
+
+    def test_exhaustive_patterns_cover_space(self):
+        packed, n = exhaustive_patterns(["x", "y", "z"])
+        assert n == 8
+        seen = {tuple((packed[k] >> i) & 1 for k in "xyz") for i in range(8)}
+        assert len(seen) == 8
+
+    def test_simulation_matches_python_semantics(self):
+        bld = CircuitBuilder("mix")
+        a, b, c = bld.input("a"), bld.input("b"), bld.input("c")
+        bld.output(bld.and_(a, b, name="and_o"))
+        bld.output(bld.nor(b, c, name="nor_o"))
+        bld.output(bld.xnor(a, c, name="xnor_o"))
+        circuit = bld.done()
+        packed, n = exhaustive_patterns(circuit.inputs)
+        vals = simulate(circuit, packed, n)
+        for i in range(n):
+            av = (packed["a"] >> i) & 1
+            bv = (packed["b"] >> i) & 1
+            cv = (packed["c"] >> i) & 1
+            assert (vals["and_o"] >> i) & 1 == (av & bv)
+            assert (vals["nor_o"] >> i) & 1 == (1 - (bv | cv))
+            assert (vals["xnor_o"] >> i) & 1 == (1 - (av ^ cv))
+
+    def test_random_patterns_deterministic(self):
+        assert random_patterns(["a", "b"], 64, seed=9) == \
+            random_patterns(["a", "b"], 64, seed=9)
+
+    def test_mask_of(self):
+        assert mask_of(1) == 1
+        assert mask_of(64) == (1 << 64) - 1
+
+
+class TestThreeValued:
+    def test_controlling_value_dominates_x(self):
+        bld = CircuitBuilder("t")
+        a, b = bld.input("a"), bld.input("b")
+        bld.output(bld.and_(a, b, name="y"))
+        bld.output(bld.or_(a, b, name="z"))
+        c = bld.done()
+        vals = simulate_3v(c, {"a": 0})
+        assert vals["y"] == 0          # AND with a 0 input
+        assert vals["z"] is X          # OR needs the other input
+        vals = simulate_3v(c, {"a": 1})
+        assert vals["y"] is X
+        assert vals["z"] == 1
+
+    def test_xor_with_x_is_x(self):
+        bld = CircuitBuilder("t")
+        a, b = bld.input("a"), bld.input("b")
+        bld.output(bld.xor(a, b, name="y"))
+        c = bld.done()
+        assert simulate_3v(c, {"a": 1})["y"] is X
+        assert simulate_3v(c, {"a": 1, "b": 1})["y"] == 0
+
+    def test_3v_agrees_with_binary_when_fully_assigned(self):
+        c = load("c17")
+        rng = random.Random(4)
+        for _ in range(10):
+            assign = {pi: rng.randint(0, 1) for pi in c.inputs}
+            v3 = simulate_3v(c, assign)
+            v2 = simulate(c, pack_patterns([assign]), 1)
+            for net in c.nets:
+                assert v3[net] == (v2[net] & 1)
+
+
+class TestSequentialSim:
+    def test_counter_counts(self):
+        sim = SequentialSim(load("cnt8"))
+        for _ in range(10):
+            sim.step({"en": 1})
+        # outputs reflect pre-edge state; internal state is the count
+        count = sum((sim.state[f"q{i}"] & 1) << i for i in range(8))
+        assert count == 10
+
+    def test_counter_hold(self):
+        sim = SequentialSim(load("cnt8"))
+        sim.step({"en": 1})
+        sim.step({"en": 0})
+        count = sum((sim.state[f"q{i}"] & 1) << i for i in range(8))
+        assert count == 1
+
+    def test_lfsr_full_period(self):
+        sim = SequentialSim(load("lfsr8"))
+        seen = set()
+        for _ in range(255):
+            state = tuple(sim.state[f"q{i}"] & 1 for i in range(8))
+            seen.add(state)
+            sim.step({})
+        assert len(seen) == 255  # maximal-length sequence, zero excluded
+
+    def test_shift_register_delay(self):
+        c = load("sr16")
+        stimuli = [{"si": 1}] + [{"si": 0}] * 20
+        trace = output_trace(c, stimuli)
+        arrivals = [i for i, out in enumerate(trace) if out["so"] & 1]
+        assert arrivals and arrivals[0] == 16
+
+    def test_flip_state_injects(self):
+        sim = SequentialSim(load("cnt8"))
+        sim.step({"en": 1})
+        sim.flip_state("q7")
+        count = sum((sim.state[f"q{i}"] & 1) << i for i in range(8))
+        assert count == 1 + 128
+
+    def test_parallel_universes_independent(self):
+        sim = SequentialSim(load("cnt8"), n_patterns=2)
+        sim.flip_state("q0", pattern_mask=0b10)  # corrupt universe 1 only
+        sim.step({"en": mask_of(2)})
+        assert (sim.state["q1"] & 1) != ((sim.state["q1"] >> 1) & 1)
+
+
+class TestFaultSim:
+    def test_c17_exhaustive_full_coverage(self):
+        c = load("c17")
+        packed, n = exhaustive_patterns(c.inputs)
+        reps, _ = collapse(c)
+        result = fault_simulate(c, reps, packed, n)
+        assert result.coverage == 1.0
+
+    def test_detection_masks_are_sound(self):
+        """Every claimed detecting pattern must actually detect the fault
+        when simulated alone."""
+        c = load("c17")
+        packed, n = exhaustive_patterns(c.inputs)
+        reps, _ = collapse(c)
+        result = fault_simulate(c, reps, packed, n)
+        singles = unpack_patterns(packed, n)
+        for fault, det in list(result.detected.items())[:8]:
+            idx = result.detecting_patterns(fault)[0]
+            single = pack_patterns([singles[idx]])
+            again = fault_simulate(c, [fault], single, 1)
+            assert fault in again.detected
+
+    def test_equivalent_faults_same_detection(self):
+        """Faults collapsed into a class must have identical detection sets."""
+        c = load("c17")
+        packed, n = exhaustive_patterns(c.inputs)
+        _reps, classes = collapse(c)
+        for rep, members in classes.items():
+            if len(members) < 2:
+                continue
+            results = fault_simulate(c, members, packed, n)
+            masks = {results.detected.get(m, 0) for m in members}
+            assert len(masks) == 1, f"class of {rep.describe()} diverges"
+
+    def test_undetectable_without_observation(self):
+        bld = CircuitBuilder("dead")
+        a = bld.input("a")
+        bld.not_(a, name="dangling")
+        bld.output(bld.buf(a, name="y"))
+        c = bld.done()
+        fault = StuckAtFault(Line("dangling"), 0)
+        packed, n = exhaustive_patterns(c.inputs)
+        result = fault_simulate(c, [fault], packed, n)
+        assert fault in set(result.undetected)
+
+    def test_sequential_fault_sim_detects(self):
+        c = load("cnt8")
+        fault = StuckAtFault(Line("c0"), 0)  # counter LSB output stuck
+        stimuli = [{"en": 1}] * 4
+        result = sequential_fault_simulate(c, [fault], stimuli)
+        assert fault in result.detected
+
+    def test_full_scan_flag_changes_observability(self):
+        c = load("s27")
+        reps, _ = collapse(c)
+        packed = random_patterns(c.inputs + list(c.flops), 32, seed=3)
+        state = {q: packed[q] for q in c.flops}
+        with_scan = fault_simulate(c, reps, packed, 32, state=state,
+                                   full_scan=True)
+        without = fault_simulate(c, reps, packed, 32, state=state,
+                                 full_scan=False)
+        assert with_scan.coverage >= without.coverage
+
+
+class TestEventSim:
+    def test_wide_pulse_reaches_output(self):
+        c17 = load("c17")
+        sim = EventSim(c17, delays=1.0)
+        pattern = {"N1": 1, "N2": 1, "N3": 1, "N6": 1, "N7": 1}
+        outcome = sim.inject_set(pattern, "N11", width=3.0)
+        assert outcome.reached_outputs
+
+    def test_narrow_pulse_filtered_by_inertia(self):
+        c17 = load("c17")
+        sim = EventSim(c17, delays=1.0, inertial=2.0)
+        pattern = {"N1": 1, "N2": 1, "N3": 1, "N6": 1, "N7": 1}
+        outcome = sim.inject_set(pattern, "N11", width=0.5)
+        assert not outcome.reached_outputs
+
+    def test_logical_masking_blocks_pulse(self):
+        bld = CircuitBuilder("m")
+        a, b = bld.input("a"), bld.input("b")
+        mid = bld.buf(a, name="mid")
+        bld.output(bld.and_(mid, b, name="y"))
+        c = bld.done()
+        sim = EventSim(c, delays=1.0)
+        blocked = sim.inject_set({"a": 1, "b": 0}, "mid", width=2.0)
+        assert "y" not in blocked.reached_outputs
+        passed = sim.inject_set({"a": 1, "b": 1}, "mid", width=2.0)
+        assert "y" in passed.reached_outputs
+
+    def test_flop_capture_window(self):
+        bld = CircuitBuilder("f")
+        a = bld.input("a")
+        mid = bld.buf(a, name="mid")
+        bld.circuit.add_flop("q", mid)
+        bld.output(bld.buf("q", name="y"))
+        c = bld.done()
+        sim = EventSim(c, delays=1.0)
+        # capture right when the pulse is live at the flop D
+        hit = sim.inject_set({"a": 0}, "mid", width=2.0, capture_time=1.5)
+        assert "q" in hit.captured_flops
+        # capture long after the pulse has passed
+        miss = sim.inject_set({"a": 0}, "mid", width=2.0, capture_time=50.0)
+        assert "q" not in miss.captured_flops
+
+    def test_waveform_pulse_widths(self):
+        from repro.sim import Waveform
+        w = Waveform(0, [(1.0, 1), (3.0, 0), (7.0, 1), (7.5, 0)])
+        assert w.pulse_widths() == [2.0, 0.5]
+        assert w.value_at(2.0) == 1
+        assert w.value_at(5.0) == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_ppsfp_agrees_with_serial(seed):
+    """Property: bit-parallel fault sim matches per-pattern simulation."""
+    c = random_combinational(6, 25, 3, seed=seed)
+    rng = random.Random(seed)
+    faults = all_stuck_at(c)
+    sample = rng.sample(faults, min(6, len(faults)))
+    pats = [{pi: rng.randint(0, 1) for pi in c.inputs} for _ in range(8)]
+    packed = pack_patterns(pats)
+    batch = fault_simulate(c, sample, packed, 8)
+    for i, pat in enumerate(pats):
+        single = fault_simulate(c, sample, pack_patterns([pat]), 1)
+        for fault in sample:
+            batch_bit = bool((batch.detected.get(fault, 0) >> i) & 1)
+            single_bit = fault in single.detected
+            assert batch_bit == single_bit
