@@ -15,19 +15,23 @@ from repro.autosoc.fi import (
     MASKED,
     SDC,
 )
-from repro.core import format_table
+from repro.core import CampaignDb, format_table
 
 
 def _experiment():
     app = APPLICATIONS["fibonacci"]
     configs = [SocConfig.QM, SocConfig.LOCKSTEP, SocConfig.ECC,
                SocConfig.FULL]
-    return app, compare_configurations(app, configs, n_cpu=25, n_ram=15,
-                                       seed=3)
+    # the unified engine runs each configuration's campaign on a worker
+    # pool and streams every injection into the shared campaign store
+    db = CampaignDb()
+    results = compare_configurations(app, configs, n_cpu=25, n_ram=15,
+                                     seed=3, db=db, workers=2)
+    return app, results, db
 
 
 def test_e17_autosoc(benchmark):
-    app, results = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    app, results, db = benchmark.pedantic(_experiment, rounds=1, iterations=1)
     rows = []
     for config, res in results.items():
         rows.append((
@@ -53,3 +57,7 @@ def test_e17_autosoc(benchmark):
     assert full.rate(SDC) == 0.0
     if lockstep.lockstep_latencies:
         assert lockstep.mean_detection_latency < 10
+    # every injection of every configuration landed in the shared store
+    assert sum(db.cross_campaign_outcomes().values()) == sum(
+        res.total for res in results.values())
+    db.close()

@@ -9,18 +9,27 @@ estimate error, confidence interval.
 
 from repro.circuit import load
 from repro.core import format_table
-from repro.soft_error import cost_accuracy_rows, random_workload, run_study
+from repro.soft_error import (
+    adaptive_estimate,
+    cost_accuracy_rows,
+    random_workload,
+    run_study,
+)
 
 
 def _study():
     circuit = load("rand_seq")
     workload = random_workload(circuit, 16, seed=7)
-    return run_study(circuit, workload,
-                     sample_sizes=(20, 50, 100, 192), margin=0.05, seed=8)
+    study = run_study(circuit, workload,
+                      sample_sizes=(20, 50, 100, 192), margin=0.05, seed=8)
+    # the engine's statistically-adaptive alternative: stop when the
+    # Wilson interval converges instead of fixing n in advance
+    adaptive = adaptive_estimate(circuit, workload, margin=0.08, seed=8)
+    return study, adaptive
 
 
 def test_e3_statistical_fi(benchmark):
-    study = benchmark.pedantic(_study, rounds=1, iterations=1)
+    study, adaptive = benchmark.pedantic(_study, rounds=1, iterations=1)
     print("\n" + format_table(
         ["n injections", "cost fraction", "estimate", "|error|",
          "95% CI", "CI covers truth"],
@@ -30,6 +39,10 @@ def test_e3_statistical_fi(benchmark):
     print(f"Leveugle bound for 5% margin @95%: {study.recommended_n} "
           f"injections ({study.recommended_n / study.population:.0%} of "
           f"exhaustive)")
+    print(f"engine early stop @8% margin: {adaptive.n_injections} injections "
+          f"({adaptive.cost_fraction:.0%} of exhaustive), estimate "
+          f"{adaptive.estimate:.3f} in "
+          f"[{adaptive.ci_low:.3f}, {adaptive.ci_high:.3f}]")
 
     # claim shape: errors shrink with n; a fraction of the exhaustive cost
     # already delivers a covered, tight estimate
@@ -37,3 +50,7 @@ def test_e3_statistical_fi(benchmark):
     assert errors[-1] <= errors[0] + 1e-9
     assert study.recommended_n < study.population
     assert all(p.ci_contains_truth for p in study.points[-2:])
+    # the adaptive campaign stops early and still brackets the truth
+    assert adaptive.converged
+    assert adaptive.n_injections < adaptive.population
+    assert adaptive.ci_low <= study.true_rate <= adaptive.ci_high

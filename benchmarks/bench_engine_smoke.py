@@ -1,0 +1,181 @@
+"""Engine smoke benchmark — seeds the perf trajectory (BENCH_engine.json).
+
+Two measurements on the ``rand_seq`` circuit used by E3/E8:
+
+1. **PPSFP fast path**: the pre-refactor gate-level loop (fresh fan-out
+   BFS plus a full topo-order scan per fault per batch, no fault
+   dropping — restated here verbatim as the baseline) against the
+   engine's cone-cached, fault-dropping batched path.  Must be >= 2x
+   with identical coverage.
+2. **Engine throughput**: SEU injections/second through the unified
+   engine, serial vs thread-pool workers, with streaming CampaignDb
+   persistence on.
+
+Runs standalone (``python benchmarks/bench_engine_smoke.py``) or under
+pytest; both write ``BENCH_engine.json`` at the repo root.
+"""
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.circuit import load
+from repro.core import CampaignDb, format_table
+from repro.engine import EngineConfig, SeuBackend, run_campaign
+from repro.faults import collapse
+from repro.sim import fault_simulate_batched, random_patterns
+from repro.sim.fault_sim import _observe_nets
+from repro.sim.logic import eval_gate, mask_of, simulate
+from repro.soft_error import random_workload
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+# ----------------------------------------------------------------------
+# pre-refactor PPSFP baseline (the seed's per-fault cone recomputation)
+# ----------------------------------------------------------------------
+def _baseline_cone_gates(circuit, start_nets):
+    fmap = circuit.fanout_map()
+    reach, work = set(), deque(start_nets)
+    while work:
+        net = work.popleft()
+        if net in reach:
+            continue
+        reach.add(net)
+        for dst in fmap.get(net, ()):
+            if dst in circuit.flops:
+                continue
+            work.append(dst)
+    return [g for g in circuit.topo_order() if g.output in reach or
+            any(i in reach for i in g.inputs)]
+
+
+def _baseline_detection_mask(circuit, fault, good, mask, observe):
+    forced = mask if fault.value else 0
+    line = fault.line
+    bad = dict(good)
+    if line.is_stem:
+        bad[line.net] = forced
+        for gate in _baseline_cone_gates(circuit, [line.net]):
+            if gate.output == line.net:
+                continue
+            bad[gate.output] = eval_gate(gate, bad, mask)
+        bad[line.net] = forced
+    elif line.sink in circuit.gates:
+        gate = circuit.gates[line.sink]
+        shadow = dict(bad)
+        shadow[line.net] = forced
+        bad[line.sink] = eval_gate(gate, shadow, mask)
+        for downstream in _baseline_cone_gates(circuit, [line.sink]):
+            if downstream.output == line.sink:
+                continue
+            bad[downstream.output] = eval_gate(downstream, bad, mask)
+    elif line.sink in circuit.flops:
+        bad[f"__flopD__{line.sink}"] = forced
+    det = 0
+    for net in observe:
+        good_v = good.get(net, 0)
+        if (not line.is_stem and line.sink in circuit.flops
+                and net == circuit.flops[line.sink].d):
+            bad_v = bad.get(f"__flopD__{line.sink}", bad.get(net, 0))
+        else:
+            bad_v = bad.get(net, 0)
+        det |= (good_v ^ bad_v) & mask
+    return det
+
+
+def _ppsfp_measurement(n_batches=8, batch_patterns=16):
+    circuit = load("rand_seq")
+    faults, _ = collapse(circuit)
+    batches = [(random_patterns(circuit.inputs, batch_patterns, seed=100 + b),
+                batch_patterns) for b in range(n_batches)]
+    state = random_patterns(circuit.flops, batch_patterns, seed=999)
+    observe = _observe_nets(circuit, True)
+    mask = mask_of(batch_patterns)
+
+    start = time.perf_counter()
+    baseline_detected = set()
+    for pi_values, n in batches:
+        good = simulate(circuit, pi_values, n, state)
+        for fault in faults:
+            if _baseline_detection_mask(circuit, fault, good, mask, observe):
+                baseline_detected.add(fault)
+    t_baseline = time.perf_counter() - start
+
+    circuit._cone_cache.clear()
+    start = time.perf_counter()
+    fast = fault_simulate_batched(circuit, faults, batches, state=state,
+                                  drop_detected=True)
+    t_fast = time.perf_counter() - start
+
+    identical = (set(fast.detected) == baseline_detected
+                 and len(fast.detected) + len(fast.undetected) == len(faults))
+    return {
+        "circuit": circuit.name,
+        "n_faults": len(faults),
+        "n_patterns": n_batches * batch_patterns,
+        "coverage": round(fast.coverage, 4),
+        "coverage_identical": identical,
+        "baseline_s": round(t_baseline, 4),
+        "fast_path_s": round(t_fast, 4),
+        "speedup": round(t_baseline / t_fast, 2) if t_fast else float("inf"),
+    }
+
+
+def _engine_throughput(workers_list=(1, 4), n_cycles=12):
+    circuit = load("rand_seq")
+    workload = random_workload(circuit, n_cycles, seed=7)
+    rows = {}
+    for workers in workers_list:
+        db = CampaignDb()
+        backend = SeuBackend(circuit, workload)
+        report = run_campaign(backend,
+                              EngineConfig(batch_size=16, workers=workers),
+                              db=db)
+        db.close()
+        key = "serial" if workers == 1 else f"parallel_x{workers}"
+        rows[key] = {
+            "injections": report.total,
+            "elapsed_s": round(report.elapsed_s, 4),
+            "injections_per_s": round(report.injections_per_second, 1),
+        }
+    return rows
+
+
+def run_smoke():
+    record = {
+        "bench": "engine_smoke",
+        "ppsfp_fast_path": _ppsfp_measurement(),
+        "seu_engine_throughput": _engine_throughput(),
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def test_engine_smoke(benchmark):
+    record = benchmark.pedantic(run_smoke, rounds=1, iterations=1)
+    ppsfp = record["ppsfp_fast_path"]
+    throughput = record["seu_engine_throughput"]
+    rows = [("ppsfp baseline", f"{ppsfp['baseline_s']:.3f}s", "1.00x", ""),
+            ("ppsfp cone cache + dropping", f"{ppsfp['fast_path_s']:.3f}s",
+             f"{ppsfp['speedup']:.2f}x",
+             "identical" if ppsfp["coverage_identical"] else "MISMATCH")]
+    for key, row in throughput.items():
+        rows.append((f"seu engine ({key})", f"{row['elapsed_s']:.3f}s",
+                     f"{row['injections_per_s']:.0f} inj/s", ""))
+    print("\n" + format_table(
+        ["path", "time", "speed", "coverage"], rows,
+        title=f"Engine smoke — {ppsfp['circuit']}, "
+              f"{ppsfp['n_faults']} faults, {ppsfp['n_patterns']} patterns"))
+    print(f"perf record written to {RECORD_PATH.name}")
+
+    # claim shape: the fast path is lossless and materially faster
+    assert ppsfp["coverage_identical"]
+    assert ppsfp["speedup"] >= 2.0
+    counts = {row["injections"] for row in throughput.values()}
+    assert len(counts) == 1 and counts.pop() > 0  # same campaign at any width
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_smoke(), indent=2))

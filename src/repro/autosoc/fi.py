@@ -144,15 +144,28 @@ def run_campaign(
     app: Application,
     config: SocConfig,
     injections: list[SocInjection],
+    db=None,
+    workers: int = 1,
 ) -> SocCampaignResult:
-    """Full campaign for one (application, configuration) pair."""
+    """Full campaign for one (application, configuration) pair.
+
+    Executes on the unified campaign engine: ``db`` streams every
+    injection into a :class:`repro.core.campaign.CampaignDb`, and
+    ``workers`` > 1 runs batches on a thread pool (faulted SoC runs are
+    independent) with results identical to the serial run.
+    """
+    from ..engine.backends import SocBackend
+    from ..engine.core import EngineConfig, run_campaign as run_engine
+
+    backend = SocBackend(app, config, injections)
+    report = run_engine(backend, EngineConfig(workers=workers, batch_size=8),
+                        db=db)
     result = SocCampaignResult(config.value, app.name)
-    for injection in injections:
-        outcome, latency = run_injection(app, config, injection)
-        result.outcomes[outcome] += 1
+    for inj in report.injections:
+        result.outcomes[inj.outcome] += 1
         result.total += 1
-        if latency is not None and outcome == DETECTED_LOCKSTEP:
-            result.lockstep_latencies.append(latency)
+        if inj.detail is not None and inj.outcome == DETECTED_LOCKSTEP:
+            result.lockstep_latencies.append(inj.detail)
     return result
 
 
@@ -162,7 +175,10 @@ def compare_configurations(
     n_cpu: int = 40,
     n_ram: int = 20,
     seed: int = 0,
+    db=None,
+    workers: int = 1,
 ) -> dict[SocConfig, SocCampaignResult]:
     """The same injection list replayed against every configuration."""
     injections = make_injections(app, n_cpu, n_ram, seed)
-    return {cfg: run_campaign(app, cfg, injections) for cfg in configs}
+    return {cfg: run_campaign(app, cfg, injections, db=db, workers=workers)
+            for cfg in configs}

@@ -105,6 +105,8 @@ class Circuit:
         self.flops: dict[str, Flop] = {}
         self._topo_cache: list[Gate] | None = None
         self._fanout_cache: dict[str, tuple[str, ...]] | None = None
+        self._topo_index_cache: dict[str, int] | None = None
+        self._cone_cache: dict[tuple[str, ...], list[Gate]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -152,6 +154,8 @@ class Circuit:
     def _invalidate(self) -> None:
         self._topo_cache = None
         self._fanout_cache = None
+        self._topo_index_cache = None
+        self._cone_cache.clear()
 
     # ------------------------------------------------------------------
     # structure queries
@@ -253,6 +257,14 @@ class Circuit:
         del sources  # documented above; sources need no ordering
         self._topo_cache = order
         return order
+
+    def topo_index(self) -> dict[str, int]:
+        """Position of each gate output in :meth:`topo_order` (cached)."""
+        if self._topo_index_cache is None:
+            self._topo_index_cache = {
+                gate.output: i for i, gate in enumerate(self.topo_order())
+            }
+        return self._topo_index_cache
 
     # ------------------------------------------------------------------
     # reporting / misc

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import json
 import sqlite3
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -55,8 +57,12 @@ class CampaignDb:
     """SQLite-backed campaign store (':memory:' by default)."""
 
     def __init__(self, path: str | Path = ":memory:") -> None:
-        self.conn = sqlite3.connect(str(path))
+        # check_same_thread=False: the engine only ever writes from its
+        # accounting thread, but that may not be the thread that built
+        # this object (e.g. a campaign dispatched onto an outer pool).
+        self.conn = sqlite3.connect(str(path), check_same_thread=False)
         self.conn.executescript(_SCHEMA)
+        self._tx_depth = 0
 
     def close(self) -> None:
         self.conn.close()
@@ -74,14 +80,43 @@ class CampaignDb:
             "INSERT INTO campaigns (name, circuit, fault_model, workload, params)"
             " VALUES (?, ?, ?, ?, ?)",
             (name, circuit, fault_model, workload, json.dumps(params or {})))
-        self.conn.commit()
+        self._maybe_commit()
         return int(cur.lastrowid)
+
+    @contextmanager
+    def transaction(self) -> Iterator["CampaignDb"]:
+        """Batch several record/record_many calls into one commit.
+
+        Inside the block, per-call commits are suppressed; the whole batch
+        commits on clean exit and rolls back on exception.  Nested blocks
+        join the outermost transaction.
+        """
+        self._tx_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._tx_depth -= 1
+            if self._tx_depth == 0:
+                self.conn.rollback()
+            raise
+        else:
+            self._tx_depth -= 1
+            if self._tx_depth == 0:
+                self.conn.commit()
+
+    def _maybe_commit(self) -> None:
+        if self._tx_depth == 0:
+            self.conn.commit()
 
     def record(self, campaign_id: int, location: str, cycle: int,
                outcome: str) -> None:
+        """Insert one injection row (durable: commits unless in a
+        :meth:`transaction` block — single rows used to be silently lost
+        when the connection closed before an unrelated commit)."""
         self.conn.execute(
             "INSERT INTO injections (campaign_id, location, cycle, outcome)"
             " VALUES (?, ?, ?, ?)", (campaign_id, location, cycle, outcome))
+        self._maybe_commit()
 
     def record_many(self, campaign_id: int,
                     rows: list[tuple[str, int, str]]) -> None:
@@ -89,7 +124,7 @@ class CampaignDb:
             "INSERT INTO injections (campaign_id, location, cycle, outcome)"
             " VALUES (?, ?, ?, ?)",
             [(campaign_id, loc, cyc, out) for loc, cyc, out in rows])
-        self.conn.commit()
+        self._maybe_commit()
 
     # ------------------------------------------------------------------
     def summary(self, campaign_id: int) -> CampaignSummary:

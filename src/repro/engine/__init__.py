@@ -1,0 +1,41 @@
+"""Unified fault-injection campaign engine (paper IV.A).
+
+One parallel, statistically-adaptive execution core behind every FI
+workload: backends adapt gate-level PPSFP, SEU, ISO 26262 safety and
+SoC-level campaigns onto a shared chunked/parallel/early-stopping
+runner with streaming CampaignDb persistence.
+"""
+
+from .backends import (
+    DETECTED,
+    UNDETECTED,
+    PpsfpBackend,
+    SafetyBackend,
+    SeuBackend,
+    SocBackend,
+    ppsfp_result,
+)
+from .core import (
+    CampaignReport,
+    EarlyStop,
+    EngineConfig,
+    Injection,
+    InjectionBackend,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignReport",
+    "DETECTED",
+    "EarlyStop",
+    "EngineConfig",
+    "Injection",
+    "InjectionBackend",
+    "PpsfpBackend",
+    "SafetyBackend",
+    "SeuBackend",
+    "SocBackend",
+    "UNDETECTED",
+    "ppsfp_result",
+    "run_campaign",
+]

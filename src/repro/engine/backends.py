@@ -1,0 +1,240 @@
+"""Injection backends: adapters from each FI workload onto the engine.
+
+Each backend owns the workload-specific physics (how to build the golden
+reference, how to inject one point, how to classify the outcome) and
+exposes the uniform :class:`repro.engine.core.InjectionBackend` surface.
+``run_batch`` implementations are pure with respect to backend state
+after :meth:`prepare`, so the engine may execute them from worker
+threads in any order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..autosoc.apps import Application
+from ..autosoc.fi import SocInjection, run_injection
+from ..autosoc.soc import SocConfig
+from ..circuit.netlist import Circuit
+from ..faults.models import StuckAtFault
+from ..sim.fault_sim import _batch_goods, _batched_detection, _observe_nets
+from ..sim.logic import mask_of, simulate
+from ..soft_error.seu import _golden_run, inject_seu
+from .core import Injection
+
+DETECTED = "detected"
+UNDETECTED = "undetected"
+
+
+class PpsfpBackend:
+    """Gate-level stuck-at PPSFP over one or more packed pattern batches.
+
+    Injection points are the faults; each fault is simulated against the
+    pattern batches in order with fault dropping (first detecting batch
+    wins).  The fan-out-cone cache on the circuit makes repeat visits to
+    a fault site O(1), so batches after the first cost a dict lookup per
+    surviving fault instead of a BFS plus a topo-order scan.
+    """
+
+    name = "ppsfp"
+    fault_model = "stuck-at"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Sequence[StuckAtFault],
+        batches: Sequence[tuple[Mapping[str, int], int]],
+        state: Mapping[str, int] | None = None,
+        full_scan: bool = True,
+        drop_detected: bool = True,
+    ) -> None:
+        self.circuit = circuit
+        self.circuit_name = circuit.name
+        self.workload = f"ppsfp[{len(batches)} batches]"
+        self.faults = list(faults)
+        self.batches = list(batches)
+        self.state = state
+        self.full_scan = full_scan
+        self.drop_detected = drop_detected
+        self._goods: list[tuple[dict[str, int], int]] = []
+        self._offsets: list[int] = []
+        self._observe: list[str] = []
+        self.n_patterns = sum(n for _, n in batches)
+
+    def enumerate_points(self) -> Sequence[StuckAtFault]:
+        return self.faults
+
+    def prepare(self) -> None:
+        self._goods, self._offsets, _ = _batch_goods(
+            self.circuit, self.batches, self.state)
+        self._observe = _observe_nets(self.circuit, self.full_scan)
+
+    def run_batch(self, points: Sequence[StuckAtFault]) -> list[Injection]:
+        out: list[Injection] = []
+        for fault in points:
+            acc = _batched_detection(self.circuit, fault, self._goods,
+                                     self._offsets, self._observe,
+                                     self.drop_detected)
+            out.append(Injection(
+                point=fault, location=fault.describe(), cycle=0,
+                outcome=DETECTED if acc else UNDETECTED, detail=acc))
+        return out
+
+
+class SeuBackend:
+    """Sequential SEU flop flips over a stimulus workload.
+
+    Points are ``(flop, cycle)`` pairs; outcomes are the classic
+    masked / latent / failure split of :func:`repro.soft_error.seu
+    .inject_seu` against a shared golden run.
+    """
+
+    name = "seu"
+    fault_model = "seu"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        stimuli: Sequence[Mapping[str, int]],
+        targets: Sequence[str] | None = None,
+        cycles: Sequence[int] | None = None,
+    ) -> None:
+        if not circuit.flops:
+            raise ValueError(f"{circuit.name} has no flops to upset")
+        self.circuit = circuit
+        self.circuit_name = circuit.name
+        self.stimuli = list(stimuli)
+        self.workload = f"seu[{len(self.stimuli)} cycles]"
+        self.targets = list(targets if targets is not None else circuit.flops)
+        self.cycles = list(cycles if cycles is not None
+                           else range(len(self.stimuli)))
+        self._golden: tuple | None = None
+
+    def enumerate_points(self) -> Sequence[tuple[str, int]]:
+        return [(flop, cyc) for flop in self.targets for cyc in self.cycles]
+
+    def prepare(self) -> None:
+        self._golden = _golden_run(self.circuit, self.stimuli)
+
+    def run_batch(self, points: Sequence[tuple[str, int]]) -> list[Injection]:
+        out: list[Injection] = []
+        for flop, cyc in points:
+            outcome = inject_seu(self.circuit, self.stimuli, flop, cyc,
+                                 self._golden)
+            out.append(Injection(point=(flop, cyc), location=flop,
+                                 cycle=cyc, outcome=outcome))
+        return out
+
+
+class SafetyBackend:
+    """ISO 26262 classification of stuck-at faults under packed patterns.
+
+    Points are the faults; outcomes are the ISO fault-class values
+    (``safe`` / ``detected`` / ``residual`` / ``latent_detected``),
+    computed by :func:`repro.safety.campaign.classify_injection_values`
+    on mission vs detection output groups.
+    """
+
+    name = "safety"
+    fault_model = "stuck-at"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Sequence[StuckAtFault],
+        mission_outputs: Sequence[str],
+        detection_outputs: Sequence[str],
+        patterns: Mapping[str, int],
+        n_patterns: int,
+        state: Mapping[str, int] | None = None,
+    ) -> None:
+        self.circuit = circuit
+        self.circuit_name = circuit.name
+        self.workload = f"safety[{n_patterns} patterns]"
+        self.faults = list(faults)
+        self.mission_outputs = list(mission_outputs)
+        self.detection_outputs = list(detection_outputs)
+        self.patterns = patterns
+        self.n_patterns = n_patterns
+        self.state = state
+        self._good: dict[str, int] = {}
+        self._mask = mask_of(n_patterns)
+
+    def enumerate_points(self) -> Sequence[StuckAtFault]:
+        return self.faults
+
+    def prepare(self) -> None:
+        self._good = simulate(self.circuit, self.patterns, self.n_patterns,
+                              self.state)
+
+    def run_batch(self, points: Sequence[StuckAtFault]) -> list[Injection]:
+        from ..safety.campaign import classify_injection_values
+        from ..sim.fault_sim import faulty_values
+
+        out: list[Injection] = []
+        for fault in points:
+            bad = faulty_values(self.circuit, fault, self._good, self._mask)
+            cls = classify_injection_values(
+                self._good, bad, self._mask,
+                self.mission_outputs, self.detection_outputs)
+            out.append(Injection(point=fault, location=fault.describe(),
+                                 cycle=0, outcome=cls.value))
+        return out
+
+
+class SocBackend:
+    """SoC-level CPU/RAM transients on AutoSoC runs.
+
+    Points are :class:`repro.autosoc.fi.SocInjection` descriptors; each
+    batch boots a fresh SoC per injection (runs are independent, so
+    batches parallelise trivially).  ``detail`` carries the lockstep
+    detection latency when one was observed.
+    """
+
+    name = "autosoc"
+    fault_model = "transient"
+
+    def __init__(
+        self,
+        app: Application,
+        config: SocConfig,
+        injections: Sequence[SocInjection],
+    ) -> None:
+        self.app = app
+        self.config = config
+        self.circuit_name = f"autosoc-{config.value}"
+        self.workload = app.name
+        self.injections = list(injections)
+
+    def enumerate_points(self) -> Sequence[SocInjection]:
+        return self.injections
+
+    def prepare(self) -> None:  # golden runs live inside run_injection
+        return None
+
+    def run_batch(self, points: Sequence[SocInjection]) -> list[Injection]:
+        out: list[Injection] = []
+        for injection in points:
+            outcome, latency = run_injection(self.app, self.config, injection)
+            if injection.kind == "cpu":
+                location = f"cpu:{injection.unit}.bit{injection.bit}"
+            else:
+                location = f"ram:{injection.ram_offset}.bit{injection.bit}"
+            out.append(Injection(point=injection, location=location,
+                                 cycle=injection.cycle, outcome=outcome,
+                                 detail=latency))
+        return out
+
+
+def ppsfp_result(report, n_patterns: int) -> Any:
+    """Rebuild a :class:`repro.sim.fault_sim.FaultSimResult` from a
+    PPSFP engine report (detection masks ride in ``detail``)."""
+    from ..sim.fault_sim import FaultSimResult
+
+    result = FaultSimResult(n_patterns=n_patterns)
+    for inj in report.injections:
+        if inj.outcome == DETECTED:
+            result.detected[inj.point] = inj.detail
+        else:
+            result.undetected.append(inj.point)
+    return result

@@ -1,0 +1,279 @@
+"""Unified fault-injection campaign engine (paper IV.A).
+
+Every FI workload in the toolkit — gate-level PPSFP stuck-at, SEU flop
+flips, ISO 26262 safety classification, SoC-level unit transients — used
+to hand-roll its own serial injection loop, sampling policy and result
+accounting.  This module is the one execution core behind all of them:
+
+* an :class:`InjectionBackend` protocol: enumerate injection points, run
+  one batch, classify outcomes;
+* chunked batch execution over a ``concurrent.futures`` worker pool with
+  results accounted in deterministic chunk order — the same campaign
+  yields bit-identical results at any worker count;
+* seeded sampling of the injection space (Leveugle-style statistical
+  campaigns) and optional statistical early stop: the campaign converges
+  when the Wilson interval of the tracked outcome rate is narrower than
+  the requested margin;
+* streaming batched persistence of every injection into
+  :class:`repro.core.campaign.CampaignDb`, so cross-campaign queries see
+  all workloads in one place.
+
+DAVOS-style iterative statistical injection, reduced to the smallest
+core that every workload can share.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from ..core.campaign import CampaignDb
+from ..core.stats import Interval, wilson_interval
+from ..faults.sampling import sample_size
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One executed injection: where, when, and how it ended.
+
+    ``point`` is the backend-specific injection point (opaque to the
+    engine); ``detail`` carries backend extras (detection masks, latency)
+    that are not persisted to the database.
+    """
+
+    point: Any
+    location: str
+    cycle: int
+    outcome: str
+    detail: Any = None
+
+    def row(self) -> tuple[str, int, str]:
+        """The (location, cycle, outcome) triple stored in CampaignDb."""
+        return (self.location, self.cycle, self.outcome)
+
+
+@runtime_checkable
+class InjectionBackend(Protocol):
+    """What a workload must provide to run on the engine.
+
+    ``run_batch`` must be a pure function of the prepared backend state
+    and the given points (no cross-batch mutation), so batches can run on
+    worker threads in any order while the engine accounts them in
+    deterministic chunk order.
+    """
+
+    name: str
+    circuit_name: str
+    fault_model: str
+    workload: str
+
+    def enumerate_points(self) -> Sequence[Any]:
+        """The full injection space, in a deterministic order."""
+        ...
+
+    def prepare(self) -> None:
+        """One-time golden-run / cache setup before the first batch."""
+        ...
+
+    def run_batch(self, points: Sequence[Any]) -> list[Injection]:
+        """Execute the given injection points; one Injection per point."""
+        ...
+
+
+@dataclass(frozen=True)
+class EarlyStop:
+    """Stop once the Wilson CI of ``outcome``'s rate is tight enough."""
+
+    outcome: str = "failure"
+    margin: float = 0.02
+    confidence: float = 0.95
+    min_injections: int = 50
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution policy; the backend defines *what*, this defines *how*.
+
+    ``sample`` draws a seeded uniform sample of that many points from
+    the enumerated space; ``None`` or a sample >= population means
+    every point, in enumeration order unless ``shuffle`` asks for a
+    seeded permutation (what early-stopped campaigns want — a prefix of
+    a shuffle is an unbiased sample).  With ``workers`` > 1 chunks run
+    on a thread pool; results are identical to the serial run because
+    accounting follows chunk order, and any chunks speculatively
+    executed past an early-stop decision are discarded.  Note the pool
+    is about deterministic concurrency, not CPU scaling: pure-Python
+    backends hold the GIL, so wall-clock gains need backends that
+    release it (or the process-pool executor on the roadmap).
+    """
+
+    batch_size: int = 64
+    workers: int = 1
+    sample: int | None = None
+    shuffle: bool = False
+    seed: int = 0
+    early_stop: EarlyStop | None = None
+    commit_every: int = 4  # chunks per CampaignDb commit
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated engine output, common to every backend."""
+
+    backend: str
+    circuit: str
+    fault_model: str
+    workload: str
+    injections: list[Injection] = field(default_factory=list)
+    population: int = 0
+    planned: int = 0
+    converged: bool = False
+    campaign_id: int | None = None
+    elapsed_s: float = 0.0
+    n_workers: int = 1
+
+    @property
+    def total(self) -> int:
+        return len(self.injections)
+
+    @property
+    def outcomes(self) -> dict[str, int]:
+        acc: dict[str, int] = {}
+        for inj in self.injections:
+            acc[inj.outcome] = acc.get(inj.outcome, 0) + 1
+        return acc
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for inj in self.injections if inj.outcome == outcome)
+
+    def rate(self, outcome: str) -> float:
+        return self.count(outcome) / self.total if self.total else 0.0
+
+    def confidence_interval(self, outcome: str,
+                            confidence: float = 0.95) -> Interval:
+        return wilson_interval(self.count(outcome), self.total, confidence)
+
+    @property
+    def injections_per_second(self) -> float:
+        return self.total / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def recommended_sample(self, margin: float = 0.05,
+                           confidence: float = 0.95) -> int:
+        """Leveugle bound for this campaign's population."""
+        return sample_size(self.population, margin, confidence)
+
+
+def _chunked(points: Sequence[Any], size: int) -> list[Sequence[Any]]:
+    return [points[i:i + size] for i in range(0, len(points), size)]
+
+
+def run_campaign(
+    backend: InjectionBackend,
+    config: EngineConfig = EngineConfig(),
+    db: CampaignDb | None = None,
+    on_chunk: Callable[[CampaignReport], None] | None = None,
+) -> CampaignReport:
+    """Run a campaign: enumerate → (sample) → chunk → execute → account.
+
+    Deterministic at any worker count: the sampled point list depends
+    only on ``config.seed``, chunks are formed before dispatch, and both
+    result accounting and the early-stop decision walk chunks in index
+    order.  ``on_chunk`` (if given) observes the report after each
+    accounted chunk — the hook used for progress streaming.
+    """
+    points = list(backend.enumerate_points())
+    population = len(points)
+    rng = random.Random(config.seed)
+    if config.sample is not None and config.sample < population:
+        points = rng.sample(points, config.sample)
+    elif config.shuffle:
+        points = rng.sample(points, population)
+    backend.prepare()
+    chunks = _chunked(points, max(1, config.batch_size))
+
+    report = CampaignReport(
+        backend=backend.name,
+        circuit=backend.circuit_name,
+        fault_model=backend.fault_model,
+        workload=backend.workload,
+        population=population,
+        planned=len(points),
+        n_workers=max(1, config.workers),
+    )
+    if db is not None:
+        report.campaign_id = db.create_campaign(
+            name=f"{backend.name}:{backend.circuit_name}",
+            circuit=backend.circuit_name,
+            fault_model=backend.fault_model,
+            workload=backend.workload,
+            params={
+                "batch_size": config.batch_size,
+                "workers": config.workers,
+                "sample": config.sample,
+                "seed": config.seed,
+                "early_stop": (config.early_stop.outcome
+                               if config.early_stop else None),
+            },
+        )
+
+    stop = config.early_stop
+    pending_rows: list[tuple[str, int, str]] = []
+    chunks_since_commit = 0
+    start = time.perf_counter()
+
+    def account(batch: list[Injection]) -> bool:
+        """Fold one chunk into the report; True = converged, stop."""
+        nonlocal chunks_since_commit
+        report.injections.extend(batch)
+        if db is not None and report.campaign_id is not None:
+            pending_rows.extend(inj.row() for inj in batch)
+            chunks_since_commit += 1
+            if chunks_since_commit >= max(1, config.commit_every):
+                db.record_many(report.campaign_id, pending_rows)
+                pending_rows.clear()
+                chunks_since_commit = 0
+        if on_chunk is not None:
+            on_chunk(report)
+        if stop is not None and report.total >= stop.min_injections:
+            ci = report.confidence_interval(stop.outcome, stop.confidence)
+            if ci.width / 2 <= stop.margin:
+                return True
+        return False
+
+    if config.workers <= 1 or len(chunks) <= 1:
+        for chunk in chunks:
+            if account(backend.run_batch(chunk)):
+                report.converged = True
+                break
+    else:
+        # sliding submission window: keeps all workers busy while bounding
+        # the speculative work discarded when early stop converges
+        window = max(4, 2 * config.workers)
+        with ThreadPoolExecutor(max_workers=config.workers) as pool:
+            futures: deque = deque()
+            next_chunk = 0
+            while next_chunk < len(chunks) and len(futures) < window:
+                futures.append(pool.submit(backend.run_batch,
+                                           chunks[next_chunk]))
+                next_chunk += 1
+            try:
+                while futures:
+                    if account(futures.popleft().result()):
+                        report.converged = True
+                        break
+                    if next_chunk < len(chunks):
+                        futures.append(pool.submit(backend.run_batch,
+                                                   chunks[next_chunk]))
+                        next_chunk += 1
+            finally:
+                for future in futures:
+                    future.cancel()
+
+    if db is not None and report.campaign_id is not None and pending_rows:
+        db.record_many(report.campaign_id, pending_rows)
+    report.elapsed_s = time.perf_counter() - start
+    return report

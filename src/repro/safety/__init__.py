@@ -1,7 +1,11 @@
 """Functional-safety validation: ISO 26262 metrics, FMECA, tool confidence,
 dynamic-slicing FI acceleration (paper Section III.D)."""
 
-from .campaign import SafetyCampaignResult, run_safety_campaign
+from .campaign import (
+    SafetyCampaignResult,
+    classify_injection_values,
+    run_safety_campaign,
+)
 from .fmeca import FailureMode, Fmeca, occurrence_from_fit
 from .iso26262 import (
     ASIL_METRIC_TARGETS,
@@ -49,6 +53,7 @@ __all__ = [
     "buggy_drops_branch_faults",
     "buggy_optimistic",
     "classify_from_injection",
+    "classify_injection_values",
     "compute_metrics",
     "cross_check",
     "default_engines",

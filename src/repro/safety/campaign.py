@@ -6,6 +6,11 @@ corruption violates the safety goal) and the *detection* outputs (alarm
 signals of safety mechanisms such as lockstep comparators, ECC flags or
 watchdogs) — and mapped onto the ISO fault classes.  The result feeds
 SPFM/LFM/PMHF and the ASIL verdict.
+
+Execution is delegated to the unified campaign engine
+(:mod:`repro.engine`): this module keeps the classification semantics
+and the public result type, while batching, worker pools and CampaignDb
+persistence come from the shared core.
 """
 
 from __future__ import annotations
@@ -15,8 +20,6 @@ from typing import Mapping, Sequence
 
 from ..circuit.netlist import Circuit
 from ..faults.models import StuckAtFault
-from ..sim.fault_sim import faulty_values
-from ..sim.logic import mask_of, simulate
 from .iso26262 import (
     ClassifiedFault,
     FaultClass,
@@ -43,6 +46,39 @@ class SafetyCampaignResult:
                 for fc in order]
 
 
+def classify_injection_values(
+    good: Mapping[str, int],
+    bad: Mapping[str, int],
+    mask: int,
+    mission_outputs: Sequence[str],
+    detection_outputs: Sequence[str],
+) -> FaultClass:
+    """Map one injection's good/faulty values onto an ISO fault class.
+
+    A fault *violates the safety goal* when any mission output differs in
+    any pattern; it is *caught* when any detection output fires (differs
+    from golden) in at least every pattern where a mission output is
+    wrong — partial detection counts as residual, matching the
+    conservative reading of the standard.
+    """
+    mission_diff = 0
+    for net in mission_outputs:
+        mission_diff |= (good.get(net, 0) ^ bad.get(net, 0)) & mask
+    detect_diff = 0
+    for net in detection_outputs:
+        detect_diff |= (good.get(net, 0) ^ bad.get(net, 0)) & mask
+    violates = bool(mission_diff)
+    caught = bool(detect_diff) and (mission_diff & ~detect_diff) == 0
+    perceived = bool(detect_diff)
+    if violates and caught:
+        return FaultClass.DETECTED
+    if violates:
+        return FaultClass.RESIDUAL
+    if perceived:
+        return FaultClass.LATENT_DETECTED
+    return FaultClass.SAFE
+
+
 def run_safety_campaign(
     circuit: Circuit,
     faults: Sequence[StuckAtFault],
@@ -52,38 +88,26 @@ def run_safety_campaign(
     n_patterns: int,
     state: Mapping[str, int] | None = None,
     fit_per_fault: float = 1.0,
+    db=None,
+    workers: int = 1,
 ) -> SafetyCampaignResult:
     """Inject every fault under packed patterns and classify per ISO.
 
-    A fault *violates the safety goal* when any mission output differs in
-    any pattern; it is *caught* when any detection output fires (differs
-    from golden) in at least every pattern where a mission output is
-    wrong — partial detection counts as residual, matching the
-    conservative reading of the standard.
+    Runs on the unified engine: pass ``db`` (a
+    :class:`repro.core.campaign.CampaignDb`) to persist every injection,
+    and ``workers`` > 1 to execute batches on a thread pool — results
+    are identical at any worker count.
     """
-    mask = mask_of(n_patterns)
-    good = simulate(circuit, patterns, n_patterns, state)
+    from ..engine.backends import SafetyBackend
+    from ..engine.core import EngineConfig, run_campaign
+
+    backend = SafetyBackend(circuit, faults, mission_outputs,
+                            detection_outputs, patterns, n_patterns, state)
+    report = run_campaign(backend, EngineConfig(workers=workers), db=db)
     result = SafetyCampaignResult()
-    for fault in faults:
-        bad = faulty_values(circuit, fault, good, mask)
-        mission_diff = 0
-        for net in mission_outputs:
-            mission_diff |= (good.get(net, 0) ^ bad.get(net, 0)) & mask
-        detect_diff = 0
-        for net in detection_outputs:
-            detect_diff |= (good.get(net, 0) ^ bad.get(net, 0)) & mask
-        violates = bool(mission_diff)
-        caught = bool(detect_diff) and (mission_diff & ~detect_diff) == 0
-        perceived = bool(detect_diff)
-        if violates and caught:
-            cls = FaultClass.DETECTED
-        elif violates:
-            cls = FaultClass.RESIDUAL
-        elif perceived:
-            cls = FaultClass.LATENT_DETECTED
-        else:
-            cls = FaultClass.SAFE
+    for inj in report.injections:
         result.classified.append(
-            ClassifiedFault(fault.describe(), cls, fit_per_fault))
+            ClassifiedFault(inj.location, FaultClass(inj.outcome),
+                            fit_per_fault))
     result.metrics = compute_metrics(result.classified)
     return result

@@ -6,6 +6,7 @@ from .fault_sim import (
     detection_mask,
     fault_coverage,
     fault_simulate,
+    fault_simulate_batched,
     faulty_values,
     sequential_fault_simulate,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "exhaustive_patterns",
     "fault_coverage",
     "fault_simulate",
+    "fault_simulate_batched",
     "faulty_values",
     "mask_of",
     "output_trace",

@@ -47,7 +47,19 @@ class FaultSimResult:
 
 
 def _cone_gates(circuit: Circuit, start_nets: Sequence[str]) -> list:
-    """Gates in the fan-out cone of ``start_nets``, in topological order."""
+    """Gates in the fan-out cone of ``start_nets``, in topological order.
+
+    Memoized per fault site on the circuit (invalidated on mutation):
+    campaigns re-simulate the same sites across pattern batches, cycles
+    and workloads, so the BFS and the ordering are paid once per site
+    instead of once per injection.  Cone membership is collected from the
+    fan-out map and ordered by cached topological index — no full
+    topo-order scan per fault.
+    """
+    key = tuple(start_nets)
+    cached = circuit._cone_cache.get(key)
+    if cached is not None:
+        return cached
     fmap = circuit.fanout_map()
     reach: set[str] = set()
     work = deque(start_nets)
@@ -60,8 +72,19 @@ def _cone_gates(circuit: Circuit, start_nets: Sequence[str]) -> list:
             if dst in circuit.flops:
                 continue  # combinational cone only
             work.append(dst)
-    return [g for g in circuit.topo_order() if g.output in reach or
-            any(i in reach for i in g.inputs)]
+    members: dict[str, object] = {}
+    for net in reach:
+        gate = circuit.gates.get(net)
+        if gate is not None:
+            members[net] = gate
+        for dst in fmap.get(net, ()):
+            consumer = circuit.gates.get(dst)
+            if consumer is not None:
+                members[dst] = consumer
+    index = circuit.topo_index()
+    cone = sorted(members.values(), key=lambda g: index[g.output])
+    circuit._cone_cache[key] = cone
+    return cone
 
 
 def _observe_nets(circuit: Circuit, full_scan: bool) -> list[str]:
@@ -151,6 +174,74 @@ def fault_simulate(
         det = detection_mask(circuit, fault, good, mask, observe)
         if det:
             result.detected[fault] = det
+        else:
+            result.undetected.append(fault)
+    return result
+
+
+def _batch_goods(
+    circuit: Circuit,
+    batches: Sequence[tuple[Mapping[str, int], int]],
+    state: Mapping[str, int] | None,
+) -> tuple[list[tuple[dict[str, int], int]], list[int], int]:
+    """Good-machine values and global pattern offsets per batch."""
+    goods: list[tuple[dict[str, int], int]] = []
+    offsets: list[int] = []
+    total = 0
+    for pi_values, n in batches:
+        goods.append((simulate(circuit, pi_values, n, state), mask_of(n)))
+        offsets.append(total)
+        total += n
+    return goods, offsets, total
+
+
+def _batched_detection(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    goods: Sequence[tuple[Mapping[str, int], int]],
+    offsets: Sequence[int],
+    observe: Sequence[str],
+    drop_detected: bool,
+) -> int:
+    """Detection bits of one fault across batches, in global numbering.
+
+    With ``drop_detected`` the fault stops being re-simulated after the
+    first detecting batch — the classic fault-dropping acceleration.
+    """
+    acc = 0
+    for (good, mask), offset in zip(goods, offsets):
+        det = detection_mask(circuit, fault, good, mask, observe)
+        if det:
+            acc |= det << offset
+            if drop_detected:
+                break
+    return acc
+
+
+def fault_simulate_batched(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    batches: Sequence[tuple[Mapping[str, int], int]],
+    state: Mapping[str, int] | None = None,
+    full_scan: bool = True,
+    drop_detected: bool = True,
+) -> FaultSimResult:
+    """PPSFP over a sequence of pattern batches with fault dropping.
+
+    ``batches`` is a list of ``(pi_values, n_patterns)`` pairs; detection
+    bits are reported in the global pattern numbering (batch 0 first).
+    The detected/undetected split (and hence coverage) is identical to
+    simulating all patterns in one pass; only the detection masks of
+    later batches are forgone for dropped faults.
+    """
+    goods, offsets, total = _batch_goods(circuit, batches, state)
+    observe = _observe_nets(circuit, full_scan)
+    result = FaultSimResult(total)
+    for fault in faults:
+        acc = _batched_detection(circuit, fault, goods, offsets, observe,
+                                 drop_detected)
+        if acc:
+            result.detected[fault] = acc
         else:
             result.undetected.append(fault)
     return result

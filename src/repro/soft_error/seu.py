@@ -108,25 +108,26 @@ def run_campaign(
     cycles: Sequence[int] | None = None,
     sample: int | None = None,
     seed: int = 0,
+    db=None,
+    workers: int = 1,
 ) -> SeuCampaignResult:
     """SEU campaign over flops × cycles (exhaustive or sampled).
 
     ``sample`` caps the number of injections drawn uniformly from the
-    space; ``None`` means exhaustive.
+    space; ``None`` means exhaustive.  Execution runs on the unified
+    campaign engine: ``db`` persists every injection to a
+    :class:`repro.core.campaign.CampaignDb`, and ``workers`` > 1 runs
+    batches on a thread pool with results identical to the serial run.
     """
-    if not circuit.flops:
-        raise ValueError(f"{circuit.name} has no flops to upset")
-    targets = list(targets if targets is not None else circuit.flops)
-    cycles = list(cycles if cycles is not None else range(len(stimuli)))
-    space = [(flop, cyc) for flop in targets for cyc in cycles]
-    if sample is not None and sample < len(space):
-        space = random.Random(seed).sample(space, sample)
+    from ..engine.backends import SeuBackend
+    from ..engine.core import EngineConfig, run_campaign as run_engine
 
-    golden = _golden_run(circuit, stimuli)
+    backend = SeuBackend(circuit, stimuli, targets, cycles)
+    config = EngineConfig(workers=workers, sample=sample, seed=seed)
+    report = run_engine(backend, config, db=db)
     result = SeuCampaignResult(n_cycles=len(stimuli))
-    for flop, cyc in space:
-        outcome = inject_seu(circuit, stimuli, flop, cyc, golden)
-        result.injections.append(SeuInjection(flop, cyc, outcome))
+    result.injections = [SeuInjection(inj.location, inj.cycle, inj.outcome)
+                         for inj in report.injections]
     return result
 
 

@@ -69,6 +69,8 @@ def run_study(
     margin: float = 0.05,
     confidence: float = 0.95,
     seed: int = 0,
+    db=None,
+    workers: int = 1,
 ) -> StatisticalStudy:
     """Run the exhaustive campaign, then sampled campaigns of each size.
 
@@ -76,8 +78,11 @@ def run_study(
     the ground-truth injection table, and each sampled campaign draws
     from it — identical outcomes to re-running, at a fraction of the
     compute (the estimator only cares which injections are drawn).
+
+    The exhaustive baseline runs on the unified campaign engine;
+    ``db``/``workers`` are forwarded to it.
     """
-    exhaustive = run_campaign(circuit, stimuli)
+    exhaustive = run_campaign(circuit, stimuli, db=db, workers=workers)
     study = StatisticalStudy(exhaustive=exhaustive)
     study.recommended_n = sample_size(exhaustive.total, margin, confidence)
     rng = random.Random(seed)
@@ -90,6 +95,66 @@ def run_study(
         ci = wilson_interval(fails, n_eff, confidence)
         study.points.append(AccuracyPoint(n_eff, est, true_rate, ci.low, ci.high))
     return study
+
+
+@dataclass
+class AdaptiveEstimate:
+    """Result of an engine early-stopped (statistically adaptive) campaign."""
+
+    estimate: float
+    ci_low: float
+    ci_high: float
+    n_injections: int
+    population: int
+    converged: bool
+
+    @property
+    def cost_fraction(self) -> float:
+        return self.n_injections / self.population if self.population else 1.0
+
+
+def adaptive_estimate(
+    circuit: Circuit,
+    stimuli: Sequence[Mapping[str, int]],
+    margin: float = 0.05,
+    confidence: float = 0.95,
+    seed: int = 0,
+    batch_size: int = 16,
+    workers: int = 1,
+    db=None,
+) -> AdaptiveEstimate:
+    """Estimate the failure rate with the engine's Wilson early stop.
+
+    Instead of fixing the sample size in advance (the Leveugle bound),
+    the campaign shuffles the injection space (a seeded full-population
+    sample) and stops as soon as the Wilson interval of the failure rate
+    is narrower than ``margin`` — the DAVOS-style iterative statistical
+    injection loop.
+    """
+    from ..engine.backends import SeuBackend
+    from ..engine.core import EarlyStop, EngineConfig, run_campaign as run_engine
+
+    backend = SeuBackend(circuit, stimuli)
+    population = len(backend.targets) * len(backend.cycles)
+    config = EngineConfig(
+        batch_size=batch_size,
+        workers=workers,
+        shuffle=True,  # an early-stopped prefix must be an unbiased sample
+        seed=seed,
+        early_stop=EarlyStop(outcome=FAILURE, margin=margin,
+                             confidence=confidence,
+                             min_injections=min(population, 2 * batch_size)),
+    )
+    report = run_engine(backend, config, db=db)
+    ci = report.confidence_interval(FAILURE, confidence)
+    return AdaptiveEstimate(
+        estimate=report.rate(FAILURE),
+        ci_low=ci.low,
+        ci_high=ci.high,
+        n_injections=report.total,
+        population=population,
+        converged=report.converged,
+    )
 
 
 def verify_fresh_sample_consistency(
