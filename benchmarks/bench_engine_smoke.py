@@ -1,18 +1,29 @@
 """Engine smoke benchmark — seeds the perf trajectory (BENCH_engine.json).
 
-Two measurements on the ``rand_seq`` circuit used by E3/E8:
+Four measurements:
 
 1. **PPSFP fast path**: the pre-refactor gate-level loop (fresh fan-out
    BFS plus a full topo-order scan per fault per batch, no fault
    dropping — restated here verbatim as the baseline) against the
    engine's cone-cached, fault-dropping batched path.  Must be >= 2x
    with identical coverage.
-2. **Engine throughput**: SEU injections/second through the unified
-   engine, serial vs thread-pool workers, with streaming CampaignDb
-   persistence on.
+2. **eval_gate dispatch**: the pre-dispatch if/elif GateType chain
+   (restated verbatim) against the module-level dispatch table that
+   replaced it, swept over a packed-pattern topo evaluation.
+3. **Executor scaling**: the same SEU campaign swept over
+   executors × workers — serial, thread x{2,4} and process x{1,2,4} —
+   with streaming CampaignDb persistence on, plus outcome-identity
+   checks across every cell.  On a multicore host the process rows are
+   the multicore-scaling claim; `process_x1` exposes the pure
+   spawn/ship overhead.
+4. **PPSFP-statistical scaling**: a seeded fault-sample campaign on a
+   larger random circuit over the same executor grid (abridged).
 
 Runs standalone (``python benchmarks/bench_engine_smoke.py``) or under
 pytest; both write ``BENCH_engine.json`` at the repo root.
+``benchmarks/check_engine_regression.py`` turns the record into a CI
+gate (process x4 must not be slower than serial on SEU when the host
+has the cores to scale).
 """
 
 import json
@@ -21,12 +32,14 @@ from collections import deque
 from pathlib import Path
 
 from repro.circuit import load
+from repro.circuit.library import random_combinational
 from repro.core import CampaignDb, format_table
-from repro.engine import EngineConfig, SeuBackend, run_campaign
+from repro.engine import EngineConfig, PpsfpBackend, SeuBackend, run_campaign
+from repro.engine.executors import _usable_cpus as _host_cpus
 from repro.faults import collapse
 from repro.sim import fault_simulate_batched, random_patterns
 from repro.sim.fault_sim import _observe_nets
-from repro.sim.logic import eval_gate, mask_of, simulate
+from repro.sim.logic import GateType, eval_gate, mask_of, simulate
 from repro.soft_error import random_workload
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -123,32 +136,170 @@ def _ppsfp_measurement(n_batches=8, batch_patterns=16):
     }
 
 
-def _engine_throughput(workers_list=(1, 4), n_cycles=12):
+# ----------------------------------------------------------------------
+# pre-dispatch eval_gate baseline (the seed's if/elif GateType chain)
+# ----------------------------------------------------------------------
+def _baseline_eval_gate_chain(gate, values, mask):
+    gtype = gate.gtype
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return mask
+    ins = [values[i] for i in gate.inputs]
+    if gtype is GateType.BUF:
+        return ins[0]
+    if gtype is GateType.NOT:
+        return ~ins[0] & mask
+    acc = ins[0]
+    if gtype in (GateType.AND, GateType.NAND):
+        for v in ins[1:]:
+            acc &= v
+        return acc if gtype is GateType.AND else ~acc & mask
+    if gtype in (GateType.OR, GateType.NOR):
+        for v in ins[1:]:
+            acc |= v
+        return acc if gtype is GateType.OR else ~acc & mask
+    for v in ins[1:]:
+        acc ^= v
+    return acc if gtype is GateType.XOR else ~acc & mask
+
+
+def _eval_gate_measurement(n_patterns=32, sweeps=400):
     circuit = load("rand_seq")
-    workload = random_workload(circuit, n_cycles, seed=7)
+    mask = mask_of(n_patterns)
+    values = dict(random_patterns(circuit.inputs, n_patterns, seed=17))
+    values.update(random_patterns(circuit.flops, n_patterns, seed=18))
+    order = circuit.topo_order()
+
+    def sweep(evaluate):
+        vals = dict(values)
+        for gate in order:
+            vals[gate.output] = evaluate(gate, vals, mask)
+        return vals
+
+    assert sweep(_baseline_eval_gate_chain) == sweep(eval_gate)
+
+    start = time.perf_counter()
+    for _ in range(sweeps):
+        sweep(_baseline_eval_gate_chain)
+    t_chain = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(sweeps):
+        sweep(eval_gate)
+    t_dispatch = time.perf_counter() - start
+    return {
+        "circuit": circuit.name,
+        "gate_evals": len(order) * sweeps,
+        "chain_s": round(t_chain, 4),
+        "dispatch_s": round(t_dispatch, 4),
+        "speedup": round(t_chain / t_dispatch, 2) if t_dispatch else
+        float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# executor x workers scaling sweeps
+# ----------------------------------------------------------------------
+def _sweep(make_backend, config_kwargs, grid):
+    """Run one campaign per (executor, workers) cell; returns the table
+    plus identity checks against the serial cell."""
     rows = {}
-    for workers in workers_list:
+    reference = None
+    identical = True
+    for executor, workers in grid:
         db = CampaignDb()
-        backend = SeuBackend(circuit, workload)
-        report = run_campaign(backend,
-                              EngineConfig(batch_size=16, workers=workers),
-                              db=db)
+        report = run_campaign(
+            make_backend(),
+            EngineConfig(workers=workers, executor=executor,
+                         **config_kwargs),
+            db=db)
         db.close()
-        key = "serial" if workers == 1 else f"parallel_x{workers}"
+        key = f"{executor}_x{workers}"
+        # a silent engine fallback (e.g. process -> thread) would make the
+        # scaling rows measure the wrong strategy; fail loudly instead
+        assert report.executor == executor, (
+            f"{key}: engine resolved to {report.executor!r}")
         rows[key] = {
             "injections": report.total,
             "elapsed_s": round(report.elapsed_s, 4),
             "injections_per_s": round(report.injections_per_second, 1),
         }
-    return rows
+        outcome_rows = [(i.location, i.cycle, i.outcome)
+                        for i in report.injections]
+        if reference is None:
+            reference = outcome_rows
+        elif outcome_rows != reference:
+            identical = False
+    serial_rate = rows["serial_x1"]["injections_per_s"]
+    for row in rows.values():
+        row["speedup_vs_serial"] = (
+            round(row["injections_per_s"] / serial_rate, 2)
+            if serial_rate else 0.0)
+    return rows, identical
+
+
+def _seu_scaling(n_cycles=120):
+    circuit = load("rand_seq")
+    workload = random_workload(circuit, n_cycles, seed=7)
+
+    def make_backend():
+        return SeuBackend(circuit.copy(), workload)
+
+    grid = [("serial", 1), ("thread", 2), ("thread", 4),
+            ("process", 1), ("process", 2), ("process", 4)]
+    rows, identical = _sweep(make_backend, {"batch_size": 24}, grid)
+    return {
+        "circuit": circuit.name,
+        "population": len(circuit.flops) * n_cycles,
+        "n_cycles": n_cycles,
+        "grid": rows,
+        "outcome_identical": identical,
+        "process_x4_speedup": rows["process_x4"]["speedup_vs_serial"],
+    }
+
+
+def _ppsfp_statistical_scaling(n_gates=2000, n_batches=10, sample=4000):
+    circuit = random_combinational(n_inputs=24, n_gates=n_gates, seed=5)
+    faults, _ = collapse(circuit)
+    batches = [(random_patterns(circuit.inputs, 32, seed=100 + b), 32)
+               for b in range(n_batches)]
+
+    def make_backend():
+        return PpsfpBackend(circuit.copy(), faults, batches)
+
+    grid = [("serial", 1), ("thread", 4), ("process", 2), ("process", 4)]
+    rows, identical = _sweep(
+        make_backend,
+        {"batch_size": 128, "sample": sample, "seed": 11}, grid)
+    return {
+        "circuit": circuit.name,
+        "fault_universe": len(faults),
+        "sample": sample,
+        "grid": rows,
+        "outcome_identical": identical,
+        "process_x4_speedup": rows["process_x4"]["speedup_vs_serial"],
+    }
 
 
 def run_smoke():
+    cpus = _host_cpus()
+    seu = _seu_scaling()
+    ppsfp_stat = _ppsfp_statistical_scaling()
     record = {
         "bench": "engine_smoke",
+        "host_cpus": cpus,
+        "scaling_meaningful": cpus >= 2,
         "ppsfp_fast_path": _ppsfp_measurement(),
-        "seu_engine_throughput": _engine_throughput(),
+        "eval_gate_dispatch": _eval_gate_measurement(),
+        "executor_scaling": {
+            "seu": seu,
+            "ppsfp_statistical": ppsfp_stat,
+        },
     }
+    if cpus < 2:
+        record["note"] = (
+            "single-CPU host: process/thread rows measure overhead only; "
+            "the >=2x process_x4 target applies to multicore hosts (CI)")
     RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
     return record
 
@@ -156,25 +307,35 @@ def run_smoke():
 def test_engine_smoke(benchmark):
     record = benchmark.pedantic(run_smoke, rounds=1, iterations=1)
     ppsfp = record["ppsfp_fast_path"]
-    throughput = record["seu_engine_throughput"]
+    dispatch = record["eval_gate_dispatch"]
+    scaling = record["executor_scaling"]
+
     rows = [("ppsfp baseline", f"{ppsfp['baseline_s']:.3f}s", "1.00x", ""),
             ("ppsfp cone cache + dropping", f"{ppsfp['fast_path_s']:.3f}s",
              f"{ppsfp['speedup']:.2f}x",
-             "identical" if ppsfp["coverage_identical"] else "MISMATCH")]
-    for key, row in throughput.items():
-        rows.append((f"seu engine ({key})", f"{row['elapsed_s']:.3f}s",
-                     f"{row['injections_per_s']:.0f} inj/s", ""))
+             "identical" if ppsfp["coverage_identical"] else "MISMATCH"),
+            ("eval_gate if/elif chain", f"{dispatch['chain_s']:.3f}s",
+             "1.00x", ""),
+            ("eval_gate dispatch table", f"{dispatch['dispatch_s']:.3f}s",
+             f"{dispatch['speedup']:.2f}x", "identical")]
+    for workload, data in scaling.items():
+        for key, row in data["grid"].items():
+            rows.append((f"{workload} {key}", f"{row['elapsed_s']:.3f}s",
+                         f"{row['injections_per_s']:.0f} inj/s",
+                         f"{row['speedup_vs_serial']:.2f}x"))
     print("\n" + format_table(
-        ["path", "time", "speed", "coverage"], rows,
-        title=f"Engine smoke — {ppsfp['circuit']}, "
-              f"{ppsfp['n_faults']} faults, {ppsfp['n_patterns']} patterns"))
+        ["path", "time", "speed", "scaling"], rows,
+        title=f"Engine smoke — {record['host_cpus']} CPU(s)"))
     print(f"perf record written to {RECORD_PATH.name}")
 
-    # claim shape: the fast path is lossless and materially faster
-    assert ppsfp["coverage_identical"]
-    assert ppsfp["speedup"] >= 2.0
-    counts = {row["injections"] for row in throughput.values()}
-    assert len(counts) == 1 and counts.pop() > 0  # same campaign at any width
+    # gate thresholds live in one place: the CI regression checker
+    from check_engine_regression import check
+
+    assert check(record) == []
+    # plus the structural invariant check() takes for granted
+    for data in scaling.values():
+        counts = {row["injections"] for row in data["grid"].values()}
+        assert len(counts) == 1 and counts.pop() > 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,79 @@
+"""CI regression gate over BENCH_engine.json.
+
+Reads the record written by ``bench_engine_smoke.py`` and fails (exit 1)
+when the engine's perf claims regress:
+
+* any executor cell produced non-identical campaign outcomes;
+* the PPSFP fast path lost its >= 2x speedup or its losslessness;
+* on a multicore host, the process executor at 4 workers is slower than
+  serial on the SEU workload.  The stretch target — >= 2x on hosts with
+  >= 4 CPUs — is reported as a warning, not enforced, until a real
+  multicore run has validated the threshold.  On a single-CPU host the
+  comparison only measures spawn overhead, so it too is reported but
+  not enforced.
+
+Usage: ``python benchmarks/check_engine_regression.py [record.json]``
+"""
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_RECORD = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def check(record: dict) -> list[str]:
+    failures: list[str] = []
+
+    ppsfp = record["ppsfp_fast_path"]
+    if not ppsfp["coverage_identical"]:
+        failures.append("ppsfp fast path is no longer lossless")
+    if ppsfp["speedup"] < 2.0:
+        failures.append(
+            f"ppsfp fast path speedup {ppsfp['speedup']}x fell below 2x")
+
+    dispatch = record.get("eval_gate_dispatch")
+    if dispatch and dispatch["speedup"] < 0.9:
+        failures.append(
+            f"eval_gate dispatch {dispatch['speedup']}x is a regression "
+            "vs the if/elif chain")
+
+    scaling = record["executor_scaling"]
+    for workload, data in scaling.items():
+        if not data["outcome_identical"]:
+            failures.append(
+                f"{workload}: executors disagreed on campaign outcomes")
+
+    seu = scaling["seu"]
+    process_x4 = seu["grid"]["process_x4"]["injections_per_s"]
+    serial = seu["grid"]["serial_x1"]["injections_per_s"]
+    cpus = record.get("host_cpus", 1)
+    if cpus >= 2 and process_x4 < serial:
+        failures.append(
+            f"SEU process_x4 ({process_x4} inj/s) is slower than serial "
+            f"({serial} inj/s) on a {cpus}-CPU host")
+    if cpus >= 4 and seu["process_x4_speedup"] < 2.0:
+        print(f"warning: SEU process_x4 speedup {seu['process_x4_speedup']}x "
+              f"is below the 2x target on a {cpus}-CPU host")
+    if cpus < 2:
+        print(f"note: single-CPU host, skipping process-vs-serial gate "
+              f"(process_x4 {process_x4} vs serial {serial} inj/s)")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_RECORD
+    record = json.loads(path.read_text())
+    failures = check(record)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    seu = record["executor_scaling"]["seu"]
+    print(f"engine perf gate OK (host_cpus={record.get('host_cpus')}, "
+          f"seu process_x4 speedup {seu['process_x4_speedup']}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -146,19 +146,23 @@ def run_campaign(
     injections: list[SocInjection],
     db=None,
     workers: int = 1,
+    executor: str = "auto",
 ) -> SocCampaignResult:
     """Full campaign for one (application, configuration) pair.
 
     Executes on the unified campaign engine: ``db`` streams every
     injection into a :class:`repro.core.campaign.CampaignDb`, and
-    ``workers`` > 1 runs batches on a thread pool (faulted SoC runs are
-    independent) with results identical to the serial run.
+    ``workers`` > 1 runs batches concurrently (faulted SoC runs are
+    independent; ``executor`` picks threads, processes or auto) with
+    results identical to the serial run.
     """
     from ..engine.backends import SocBackend
     from ..engine.core import EngineConfig, run_campaign as run_engine
 
     backend = SocBackend(app, config, injections)
-    report = run_engine(backend, EngineConfig(workers=workers, batch_size=8),
+    report = run_engine(backend,
+                        EngineConfig(workers=workers, batch_size=8,
+                                     executor=executor),
                         db=db)
     result = SocCampaignResult(config.value, app.name)
     for inj in report.injections:
@@ -177,8 +181,10 @@ def compare_configurations(
     seed: int = 0,
     db=None,
     workers: int = 1,
+    executor: str = "auto",
 ) -> dict[SocConfig, SocCampaignResult]:
     """The same injection list replayed against every configuration."""
     injections = make_injections(app, n_cpu, n_ram, seed)
-    return {cfg: run_campaign(app, cfg, injections, db=db, workers=workers)
+    return {cfg: run_campaign(app, cfg, injections, db=db, workers=workers,
+                              executor=executor)
             for cfg in configs}

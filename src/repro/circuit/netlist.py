@@ -151,6 +151,27 @@ class Circuit:
         if net in self.inputs or net in self.gates or net in self.flops:
             raise CircuitError(f"net {net!r} already driven")
 
+    # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Serialize structure only; memoized caches are dropped.
+
+        The topo/fan-out/cone caches can dwarf the netlist itself and are
+        cheap to rebuild, so a pickled circuit (e.g. one shipped to a
+        process-pool worker) carries just gates/flops/IO and re-derives
+        the caches lazily on first use in the receiving process.
+        """
+        state = self.__dict__.copy()
+        state["_topo_cache"] = None
+        state["_fanout_cache"] = None
+        state["_topo_index_cache"] = None
+        state["_cone_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def _invalidate(self) -> None:
         self._topo_cache = None
         self._fanout_cache = None

@@ -4,7 +4,7 @@ Fig. 2 shows the RESCUE approach: one design descends through quality,
 reliability and security analyses that *share artifacts* instead of
 running as isolated tools.  :class:`Flow` is a small dependency-driven
 stage executor: stages declare the artifacts they consume and produce,
-the flow topologically orders them (networkx DAG), executes, and records
+the flow topologically orders them (stdlib graphlib DAG), executes, and records
 a run report.  The F2 bench builds the full cross-domain pipeline on one
 design — ATPG feeding safety classification feeding the FIT budget,
 with the security audit consuming the same netlist.
@@ -14,9 +14,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
 from typing import Callable
-
-import networkx as nx
 
 
 class FlowError(RuntimeError):
@@ -76,23 +75,22 @@ class Flow:
         return self
 
     def _order(self) -> list[Stage]:
-        graph = nx.DiGraph()
         producers: dict[str, str] = {}
         for stage in self.stages.values():
-            graph.add_node(stage.name)
             for artifact in stage.produces:
                 if artifact in producers:
                     raise FlowError(
                         f"artifact {artifact!r} produced by both "
                         f"{producers[artifact]!r} and {stage.name!r}")
                 producers[artifact] = stage.name
+        deps: dict[str, set[str]] = {name: set() for name in self.stages}
         for stage in self.stages.values():
             for artifact in stage.consumes:
                 if artifact in producers:
-                    graph.add_edge(producers[artifact], stage.name)
+                    deps[stage.name].add(producers[artifact])
         try:
-            order = list(nx.topological_sort(graph))
-        except nx.NetworkXUnfeasible:
+            order = list(TopologicalSorter(deps).static_order())
+        except CycleError:
             raise FlowError("flow graph has a cycle") from None
         return [self.stages[name] for name in order]
 

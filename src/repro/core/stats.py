@@ -9,10 +9,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-
-from scipy import stats as _scipy_stats
+from statistics import NormalDist
 
 from ..faults.sampling import sample_size
+
+# scipy is imported lazily inside the few functions that need it: this
+# module sits on the campaign engine's hot import path (every spawned
+# process-pool worker re-imports it), and scipy.stats alone costs more
+# than the rest of the package combined.
+_NORMAL = NormalDist()
 
 HOURS_PER_BILLION = 1e9
 
@@ -62,7 +67,7 @@ def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> In
         return Interval(0.0, 1.0, confidence)
     if not 0 <= successes <= trials:
         raise ValueError("successes must be within [0, trials]")
-    z = _scipy_stats.norm.ppf(0.5 + confidence / 2)
+    z = _NORMAL.inv_cdf(0.5 + confidence / 2)
     phat = successes / trials
     denom = 1 + z * z / trials
     centre = (phat + z * z / (2 * trials)) / denom
@@ -77,6 +82,8 @@ def clopper_pearson_interval(successes: int, trials: int,
     """Exact (conservative) binomial interval via the Beta distribution."""
     if trials <= 0:
         return Interval(0.0, 1.0, confidence)
+    from scipy import stats as _scipy_stats
+
     alpha = 1 - confidence
     low = 0.0 if successes == 0 else float(
         _scipy_stats.beta.ppf(alpha / 2, successes, trials - successes + 1))
@@ -91,6 +98,8 @@ def welch_t_test(sample_a, sample_b) -> tuple[float, float]:
     The work-horse of both the timing side-channel audit (fixed-vs-random
     leakage detection) and TVLA-style power analysis.
     """
+    from scipy import stats as _scipy_stats
+
     t_stat, p_value = _scipy_stats.ttest_ind(sample_a, sample_b, equal_var=False)
     return float(t_stat), float(p_value)
 

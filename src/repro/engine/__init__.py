@@ -3,7 +3,9 @@
 One parallel, statistically-adaptive execution core behind every FI
 workload: backends adapt gate-level PPSFP, SEU, ISO 26262 safety and
 SoC-level campaigns onto a shared chunked/parallel/early-stopping
-runner with streaming CampaignDb persistence.
+runner with streaming CampaignDb persistence.  Execution strategies
+(serial / GIL-bound threads / spawn-safe multicore processes / auto
+probing) are pluggable via :mod:`repro.engine.executors`.
 """
 
 from .backends import (
@@ -23,12 +25,15 @@ from .core import (
     InjectionBackend,
     run_campaign,
 )
+from .executors import EXECUTOR_CHOICES, ExecutorPlan, chunk_seed, plan_executor
 
 __all__ = [
     "CampaignReport",
     "DETECTED",
+    "EXECUTOR_CHOICES",
     "EarlyStop",
     "EngineConfig",
+    "ExecutorPlan",
     "Injection",
     "InjectionBackend",
     "PpsfpBackend",
@@ -36,6 +41,8 @@ __all__ = [
     "SeuBackend",
     "SocBackend",
     "UNDETECTED",
+    "chunk_seed",
+    "plan_executor",
     "ppsfp_result",
     "run_campaign",
 ]

@@ -5,7 +5,11 @@ reference, how to inject one point, how to classify the outcome) and
 exposes the uniform :class:`repro.engine.core.InjectionBackend` surface.
 ``run_batch`` implementations are pure with respect to backend state
 after :meth:`prepare`, so the engine may execute them from worker
-threads in any order.
+threads in any order.  Every backend also pickles cleanly before
+``prepare()`` (circuits drop their memoized caches on serialization)
+and ``prepare()`` is idempotent, which is what the process-pool
+executor needs: the backend ships to each worker once and rebuilds its
+golden runs and caches locally.
 """
 
 from __future__ import annotations
@@ -65,9 +69,20 @@ class PpsfpBackend:
         return self.faults
 
     def prepare(self) -> None:
+        if self._goods:  # idempotent: re-run per process-pool worker
+            return
         self._goods, self._offsets, _ = _batch_goods(
             self.circuit, self.batches, self.state)
         self._observe = _observe_nets(self.circuit, self.full_scan)
+
+    def __getstate__(self) -> dict:
+        """Prepared state (good-machine values, observe list) is dropped:
+        process-pool workers rebuild it via their own ``prepare()``."""
+        state = self.__dict__.copy()
+        state["_goods"] = []
+        state["_offsets"] = []
+        state["_observe"] = []
+        return state
 
     def run_batch(self, points: Sequence[StuckAtFault]) -> list[Injection]:
         out: list[Injection] = []
@@ -114,7 +129,14 @@ class SeuBackend:
         return [(flop, cyc) for flop in self.targets for cyc in self.cycles]
 
     def prepare(self) -> None:
-        self._golden = _golden_run(self.circuit, self.stimuli)
+        if self._golden is None:  # idempotent: re-run per worker process
+            self._golden = _golden_run(self.circuit, self.stimuli)
+
+    def __getstate__(self) -> dict:
+        """The golden trace is dropped: workers re-run it in ``prepare``."""
+        state = self.__dict__.copy()
+        state["_golden"] = None
+        return state
 
     def run_batch(self, points: Sequence[tuple[str, int]]) -> list[Injection]:
         out: list[Injection] = []
@@ -164,8 +186,15 @@ class SafetyBackend:
         return self.faults
 
     def prepare(self) -> None:
-        self._good = simulate(self.circuit, self.patterns, self.n_patterns,
-                              self.state)
+        if not self._good:  # idempotent: re-run per worker process
+            self._good = simulate(self.circuit, self.patterns,
+                                  self.n_patterns, self.state)
+
+    def __getstate__(self) -> dict:
+        """Good-machine values are dropped: workers re-simulate them."""
+        state = self.__dict__.copy()
+        state["_good"] = {}
+        return state
 
     def run_batch(self, points: Sequence[StuckAtFault]) -> list[Injection]:
         from ..safety.campaign import classify_injection_values

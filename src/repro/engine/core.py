@@ -24,16 +24,21 @@ core that every workload can share.
 
 from __future__ import annotations
 
+import logging
+import pickle
 import random
 import time
-from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from ..core.campaign import CampaignDb
 from ..core.stats import Interval, wilson_interval
 from ..faults.sampling import sample_size
+from . import executors as _executors
+from .executors import EXECUTOR_CHOICES, ExecutorPlan, chunk_seed, plan_executor
+
+log = logging.getLogger("repro.engine")
 
 
 @dataclass(frozen=True)
@@ -62,8 +67,17 @@ class InjectionBackend(Protocol):
 
     ``run_batch`` must be a pure function of the prepared backend state
     and the given points (no cross-batch mutation), so batches can run on
-    worker threads in any order while the engine accounts them in
-    deterministic chunk order.
+    worker threads — or in worker processes — in any order while the
+    engine accounts them in deterministic chunk order.  For the process
+    executor the backend must additionally pickle (``prepare()`` is
+    re-run per worker, so prepared state need not ship) and be
+    idempotent under repeated ``prepare()`` calls.
+
+    Stochastic backends may provide an optional ``run_batch_seeded(
+    points, rng)`` method instead; the engine then hands every chunk its
+    own ``random.Random`` derived from ``(campaign seed, chunk index)``,
+    which keeps results identical at any worker count and executor
+    choice.
     """
 
     name: str
@@ -103,12 +117,17 @@ class EngineConfig:
     every point, in enumeration order unless ``shuffle`` asks for a
     seeded permutation (what early-stopped campaigns want — a prefix of
     a shuffle is an unbiased sample).  With ``workers`` > 1 chunks run
-    on a thread pool; results are identical to the serial run because
-    accounting follows chunk order, and any chunks speculatively
-    executed past an early-stop decision are discarded.  Note the pool
-    is about deterministic concurrency, not CPU scaling: pure-Python
-    backends hold the GIL, so wall-clock gains need backends that
-    release it (or the process-pool executor on the roadmap).
+    on the chosen executor; results are identical to the serial run
+    because accounting follows chunk order, and any chunks speculatively
+    executed past an early-stop decision are discarded.
+
+    ``executor`` picks the execution strategy (see
+    :mod:`repro.engine.executors`): ``"serial"``, ``"thread"`` (GIL-bound
+    — deterministic overlap, not CPU scaling), ``"process"`` (spawn-safe
+    process pool: the backend ships to each worker once and true
+    multicore scaling applies), or ``"auto"`` (default), which probes
+    CPU count, backend picklability and per-batch cost, and falls back
+    thread-/serial-wards with a logged reason instead of crashing.
     """
 
     batch_size: int = 64
@@ -118,6 +137,12 @@ class EngineConfig:
     seed: int = 0
     early_stop: EarlyStop | None = None
     commit_every: int = 4  # chunks per CampaignDb commit
+    executor: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTOR_CHOICES:
+            raise ValueError(f"unknown executor {self.executor!r}; "
+                             f"pick one of {EXECUTOR_CHOICES}")
 
 
 @dataclass
@@ -135,6 +160,7 @@ class CampaignReport:
     campaign_id: int | None = None
     elapsed_s: float = 0.0
     n_workers: int = 1
+    executor: str = "serial"  # resolved strategy the campaign ran on
 
     @property
     def total(self) -> int:
@@ -179,11 +205,13 @@ def run_campaign(
 ) -> CampaignReport:
     """Run a campaign: enumerate → (sample) → chunk → execute → account.
 
-    Deterministic at any worker count: the sampled point list depends
-    only on ``config.seed``, chunks are formed before dispatch, and both
-    result accounting and the early-stop decision walk chunks in index
-    order.  ``on_chunk`` (if given) observes the report after each
-    accounted chunk — the hook used for progress streaming.
+    Deterministic at any worker count and executor choice: the sampled
+    point list depends only on ``config.seed``, chunks (and their
+    per-chunk RNG seeds) are formed before dispatch, and both result
+    accounting and the early-stop decision walk chunks in index order.
+    ``on_chunk`` (if given) observes the report after each accounted
+    chunk — the hook used for progress streaming; it always runs in the
+    calling thread, as does all CampaignDb persistence.
     """
     points = list(backend.enumerate_points())
     population = len(points)
@@ -192,8 +220,8 @@ def run_campaign(
         points = rng.sample(points, config.sample)
     elif config.shuffle:
         points = rng.sample(points, population)
-    backend.prepare()
     chunks = _chunked(points, max(1, config.batch_size))
+    seeds = [chunk_seed(config.seed, i) for i in range(len(chunks))]
 
     report = CampaignReport(
         backend=backend.name,
@@ -213,6 +241,7 @@ def run_campaign(
             params={
                 "batch_size": config.batch_size,
                 "workers": config.workers,
+                "executor": config.executor,
                 "sample": config.sample,
                 "seed": config.seed,
                 "early_stop": (config.early_stop.outcome
@@ -244,34 +273,75 @@ def run_campaign(
                 return True
         return False
 
-    if config.workers <= 1 or len(chunks) <= 1:
-        for chunk in chunks:
-            if account(backend.run_batch(chunk)):
-                report.converged = True
-                break
+    # resolve the executor (auto probes picklability and per-batch cost;
+    # any chunks it executed while probing are accounted first, exactly
+    # once, so determinism is unaffected)
+    if chunks:
+        plan = plan_executor(backend, chunks, config, seeds)
     else:
-        # sliding submission window: keeps all workers busy while bounding
-        # the speculative work discarded when early stop converges
-        window = max(4, 2 * config.workers)
-        with ThreadPoolExecutor(max_workers=config.workers) as pool:
-            futures: deque = deque()
-            next_chunk = 0
-            while next_chunk < len(chunks) and len(futures) < window:
-                futures.append(pool.submit(backend.run_batch,
-                                           chunks[next_chunk]))
-                next_chunk += 1
+        plan = ExecutorPlan("serial", "empty campaign")
+    if plan.reason:
+        log.info("engine: executor=%s for %s:%s (%s)", plan.name,
+                 backend.name, backend.circuit_name, plan.reason)
+    report.executor = plan.name
+
+    accounted = 0
+
+    def account_chunk(batch: list[Injection]) -> bool:
+        nonlocal accounted
+        accounted += 1
+        return account(batch)
+
+    converged = False
+    for batch in plan.probe_batches or ():
+        if account_chunk(batch):
+            converged = True
+            break
+
+    strategy = plan.name
+    if not converged and accounted < len(chunks):
+        if strategy == "process":
+            # serialize here (if the auto probe didn't already) so that
+            # pickling failures are distinguishable from pool failures —
+            # and from genuine backend bugs, which must propagate
+            payload = plan.payload
+            if payload is None:
+                try:
+                    payload = pickle.dumps(
+                        (backend, chunks, seeds),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception as exc:
+                    log.warning(
+                        "engine: backend not picklable (%s: %s); falling "
+                        "back to threads", type(exc).__name__, exc)
+                    strategy = "thread"
+                    report.executor = "thread"
+        if strategy == "process":
             try:
-                while futures:
-                    if account(futures.popleft().result()):
-                        report.converged = True
-                        break
-                    if next_chunk < len(chunks):
-                        futures.append(pool.submit(backend.run_batch,
-                                                   chunks[next_chunk]))
-                        next_chunk += 1
-            finally:
-                for future in futures:
-                    future.cancel()
+                converged = _executors.run_process(
+                    backend, chunks, seeds, account_chunk, config.workers,
+                    start=accounted, payload=payload)
+            except (BrokenProcessPool, OSError) as exc:
+                # accounting is chunk-ordered, so `accounted` is exactly
+                # the index of the first chunk the pool never delivered —
+                # resume there on threads without repeating work
+                log.warning(
+                    "engine: process executor failed (%s: %s); falling back "
+                    "to threads from chunk %d", type(exc).__name__, exc,
+                    accounted)
+                strategy = "thread"
+                report.executor = "thread"
+        if not converged and accounted < len(chunks):
+            if strategy == "thread":
+                backend.prepare()
+                converged = _executors.run_thread(
+                    backend, chunks, seeds, account_chunk, config.workers,
+                    start=accounted)
+            elif strategy == "serial":
+                backend.prepare()
+                converged = _executors.run_serial(
+                    backend, chunks, seeds, account_chunk, start=accounted)
+    report.converged = converged
 
     if db is not None and report.campaign_id is not None and pending_rows:
         db.record_many(report.campaign_id, pending_rows)

@@ -1,0 +1,255 @@
+"""Pluggable chunk executors for the campaign engine.
+
+The engine (:mod:`repro.engine.core`) turns a campaign into an ordered
+list of point chunks; this module owns *how* those chunks execute:
+
+* ``serial``  — in the calling thread, chunk by chunk;
+* ``thread``  — a sliding-window ``ThreadPoolExecutor``.  Deterministic
+  overlap, but pure-Python backends hold the GIL, so it only buys
+  wall-clock when batches release it;
+* ``process`` — a spawn-safe ``ProcessPoolExecutor``.  The backend and
+  the chunk list are pickled **once** and shipped to each worker via the
+  pool initializer; workers call ``prepare()`` themselves (golden runs
+  and caches are rebuilt per process, never pickled), and tasks are just
+  chunk indices.  True multicore scaling for CPU-bound backends;
+* ``auto``    — probes the campaign (visible CPUs, backend picklability,
+  per-batch cost measured on the first chunk) and picks the fastest safe
+  executor, logging the reason instead of crashing when the process pool
+  is not applicable.
+
+Every executor preserves the engine's determinism contract: chunks are
+accounted strictly in index order, each chunk runs with its own RNG
+stream derived from ``(campaign seed, chunk index)``, and an early-stop
+decision cancels all queued chunks and waits out in-flight ones before
+returning — speculative batches past the stop point are never accounted
+(and never half-recorded in the database).
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import pickle
+import random
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+log = logging.getLogger("repro.engine")
+
+EXECUTOR_CHOICES = ("auto", "serial", "thread", "process")
+
+# auto-probe thresholds (module level so tests and benchmarks can tune):
+# a chunk cheaper than MIN_BATCH_COST_S is dominated by pool dispatch,
+# and a campaign with less than MIN_CAMPAIGN_COST_S of work left cannot
+# amortise spawning worker interpreters.
+MIN_BATCH_COST_S = 0.002
+MIN_CAMPAIGN_COST_S = 0.25
+
+_MASK64 = (1 << 64) - 1
+
+
+def chunk_seed(seed: int, index: int) -> int:
+    """Per-chunk RNG seed: a splitmix-style mix of campaign seed and
+    chunk index, so every chunk owns an independent, reproducible stream
+    no matter which worker (thread, process, or the parent) runs it."""
+    mixed = ((seed & _MASK64) * 0x9E3779B97F4A7C15
+             + (index + 1) * 0xBF58476D1CE4E5B9) & _MASK64
+    mixed ^= mixed >> 31
+    return (mixed * 0x94D049BB133111EB) & _MASK64
+
+
+def execute_chunk(backend: Any, chunk: Sequence[Any], seed: int) -> list:
+    """Run one chunk, threading the per-chunk RNG through if the backend
+    wants one (the optional ``run_batch_seeded`` hook for stochastic
+    workloads).  The ``random.Random`` is constructed here, inside the
+    worker task, so concurrent chunks never share RNG state."""
+    seeded = getattr(backend, "run_batch_seeded", None)
+    if seeded is not None:
+        return seeded(chunk, random.Random(seed))
+    return backend.run_batch(chunk)
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _window(workers: int) -> int:
+    """Sliding submission window: keeps every worker busy while bounding
+    the speculative work discarded when early stop converges."""
+    return max(4, 2 * workers)
+
+
+@dataclass
+class ExecutorPlan:
+    """Resolved execution strategy for one campaign.
+
+    ``probe_batches`` holds results of leading chunks the auto-probe
+    already executed in the parent — the engine accounts them first so
+    probing never repeats (or reorders) work.  ``payload`` carries the
+    pre-pickled ``(backend, chunks, seeds)`` blob when the probe already
+    proved picklability, so the process pool does not pickle twice.
+    """
+
+    name: str
+    reason: str = ""
+    payload: bytes | None = None
+    probe_batches: list | None = None
+
+
+def plan_executor(backend: Any, chunks: Sequence[Sequence[Any]],
+                  config: Any, seeds: Sequence[int]) -> ExecutorPlan:
+    """Resolve ``config.executor`` to a concrete strategy.
+
+    Explicit choices pass through untouched; ``auto`` probes and falls
+    back with a reason instead of crashing.
+    """
+    choice = getattr(config, "executor", "auto")
+    if choice != "auto":  # validated by EngineConfig.__post_init__
+        return ExecutorPlan(choice)
+    if config.workers <= 1 or len(chunks) <= 1:
+        return ExecutorPlan("serial", "single worker or single chunk")
+    if _usable_cpus() < 2:
+        return ExecutorPlan("serial", "single CPU visible: no pool can scale")
+    # cost probe first — it needs no serialization, and cheap campaigns
+    # skip the (potentially large) pickle entirely
+    backend.prepare()
+    t0 = time.perf_counter()
+    batch0 = execute_chunk(backend, chunks[0], seeds[0])
+    per_batch = time.perf_counter() - t0
+    remaining = per_batch * (len(chunks) - 1)
+    if per_batch < MIN_BATCH_COST_S:
+        return ExecutorPlan(
+            "thread",
+            f"per-batch cost {per_batch * 1e3:.2f}ms below process dispatch "
+            "overhead", probe_batches=[batch0])
+    if remaining < MIN_CAMPAIGN_COST_S:
+        return ExecutorPlan(
+            "thread",
+            f"~{remaining * 1e3:.0f}ms of work left: too small to amortise "
+            "process spawn", probe_batches=[batch0])
+    # backends drop prepared state on pickling, so probing before the
+    # dumps does not bloat the payload
+    try:
+        payload = pickle.dumps((backend, chunks, list(seeds)),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pickle raises many types (Pickling, Type, ...)
+        return ExecutorPlan(
+            "thread", f"backend not picklable ({type(exc).__name__}: {exc})",
+            probe_batches=[batch0])
+    return ExecutorPlan(
+        "process",
+        f"picklable backend, {per_batch * 1e3:.1f}ms/batch x "
+        f"{len(chunks) - 1} chunks remaining",
+        payload=payload, probe_batches=[batch0])
+
+
+# ----------------------------------------------------------------------
+# execution strategies: each runs chunks[start:] and accounts them in
+# index order via ``account`` (returns True to stop early)
+# ----------------------------------------------------------------------
+def run_serial(backend: Any, chunks: Sequence[Sequence[Any]],
+               seeds: Sequence[int],
+               account: Callable[[list], bool], start: int = 0) -> bool:
+    for i in range(start, len(chunks)):
+        if account(execute_chunk(backend, chunks[i], seeds[i])):
+            return True
+    return False
+
+
+def _run_pool(pool: Any, submit: Callable[[int], Any], n_chunks: int,
+              window: int, account: Callable[[list], bool],
+              start: int) -> bool:
+    """Sliding-window dispatch with deterministic chunk-order accounting.
+
+    Futures are consumed strictly in submission (= chunk) order.  On
+    early stop — and on any error — queued chunks are cancelled and
+    in-flight ones are waited out before returning, so no speculative
+    batch is accounted or left running in the background.
+    """
+    futures: deque = deque()
+    next_chunk = start
+    converged = False
+    try:
+        while next_chunk < n_chunks and len(futures) < window:
+            futures.append(submit(next_chunk))
+            next_chunk += 1
+        while futures:
+            if account(futures.popleft().result()):
+                converged = True
+                break
+            if next_chunk < n_chunks:
+                futures.append(submit(next_chunk))
+                next_chunk += 1
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    return converged
+
+
+def run_thread(backend: Any, chunks: Sequence[Sequence[Any]],
+               seeds: Sequence[int], account: Callable[[list], bool],
+               workers: int, start: int = 0) -> bool:
+    pool = ThreadPoolExecutor(max_workers=workers)
+
+    def submit(i: int):
+        return pool.submit(execute_chunk, backend, chunks[i], seeds[i])
+
+    return _run_pool(pool, submit, len(chunks), _window(workers), account,
+                     start)
+
+
+# ----------------------------------------------------------------------
+# process pool: backend + chunks ship once per worker via the initializer
+# ----------------------------------------------------------------------
+_worker_state: tuple | None = None
+
+
+def _process_worker_init(payload: bytes) -> None:
+    global _worker_state
+    backend, chunks, seeds = pickle.loads(payload)
+    backend.prepare()  # golden runs / caches rebuilt locally, never shipped
+    _worker_state = (backend, chunks, seeds)
+
+
+def _process_worker_run(index: int) -> tuple[int, list]:
+    backend, chunks, seeds = _worker_state
+    return index, execute_chunk(backend, chunks[index], seeds[index])
+
+
+def run_process(backend: Any, chunks: Sequence[Sequence[Any]],
+                seeds: Sequence[int], account: Callable[[list], bool],
+                workers: int, start: int = 0,
+                payload: bytes | None = None) -> bool:
+    if payload is None:
+        payload = pickle.dumps((backend, chunks, list(seeds)),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+    n_workers = max(1, min(workers, len(chunks) - start))
+    pool = ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=multiprocessing.get_context("spawn"),
+        initializer=_process_worker_init,
+        initargs=(payload,))
+
+    expected = start
+
+    def account_indexed(result: tuple[int, list]) -> bool:
+        nonlocal expected
+        index, batch = result
+        if index != expected:
+            raise RuntimeError(
+                f"chunk accounting out of order: got {index}, "
+                f"expected {expected}")
+        expected += 1
+        return account(batch)
+
+    def submit(i: int):
+        return pool.submit(_process_worker_run, i)
+
+    return _run_pool(pool, submit, len(chunks), _window(n_workers),
+                     account_indexed, start)

@@ -90,20 +90,24 @@ def run_safety_campaign(
     fit_per_fault: float = 1.0,
     db=None,
     workers: int = 1,
+    executor: str = "auto",
 ) -> SafetyCampaignResult:
     """Inject every fault under packed patterns and classify per ISO.
 
     Runs on the unified engine: pass ``db`` (a
     :class:`repro.core.campaign.CampaignDb`) to persist every injection,
-    and ``workers`` > 1 to execute batches on a thread pool — results
-    are identical at any worker count.
+    ``workers`` > 1 to execute batches concurrently, and ``executor``
+    to pick the strategy (serial/thread/process/auto) — results are
+    identical at any worker count and executor choice.
     """
     from ..engine.backends import SafetyBackend
     from ..engine.core import EngineConfig, run_campaign
 
     backend = SafetyBackend(circuit, faults, mission_outputs,
                             detection_outputs, patterns, n_patterns, state)
-    report = run_campaign(backend, EngineConfig(workers=workers), db=db)
+    report = run_campaign(backend,
+                          EngineConfig(workers=workers, executor=executor),
+                          db=db)
     result = SafetyCampaignResult()
     for inj in report.injections:
         result.classified.append(

@@ -16,7 +16,7 @@ from typing import Mapping, Sequence
 
 from ..circuit.netlist import Circuit
 from ..faults.models import Line, StuckAtFault
-from .logic import eval_gate, mask_of, simulate
+from .logic import GATE_EVAL, eval_gate, mask_of, simulate
 
 
 @dataclass
@@ -104,13 +104,14 @@ def faulty_values(
     forced = mask if fault.value else 0
     line = fault.line
     values = dict(good)
+    evaluators = GATE_EVAL
     if line.is_stem:
         values[line.net] = forced
         cone = _cone_gates(circuit, [line.net])
         for gate in cone:
             if gate.output == line.net:
                 continue  # the stem stays forced
-            values[gate.output] = eval_gate(gate, values, mask)
+            values[gate.output] = evaluators[gate.gtype](gate, values, mask)
         values[line.net] = forced
         return values
     # branch fault: only the named sink sees the forced value
@@ -124,7 +125,8 @@ def faulty_values(
         for downstream in cone:
             if downstream.output == sink:
                 continue
-            values[downstream.output] = eval_gate(downstream, values, mask)
+            values[downstream.output] = evaluators[downstream.gtype](
+                downstream, values, mask)
     elif sink in circuit.flops:
         # a branch into a flop D: model as the D seeing the forced value;
         # combinationally nothing downstream this cycle

@@ -22,31 +22,85 @@ def mask_of(n_patterns: int) -> int:
     return (1 << n_patterns) - 1
 
 
+# Packed gate evaluation dispatches through a module-level table: one
+# dict lookup replaces the GateType if/elif chain, and the 1–2 input
+# shapes (the vast majority of library gates) index ``gate.inputs``
+# directly instead of materializing an intermediate list.
+def _eval_and(gate: Gate, values: Mapping[str, int], mask: int) -> int:
+    ins = gate.inputs
+    if len(ins) == 2:
+        return values[ins[0]] & values[ins[1]]
+    acc = values[ins[0]]
+    for name in ins[1:]:
+        acc &= values[name]
+    return acc
+
+
+def _eval_nand(gate: Gate, values: Mapping[str, int], mask: int) -> int:
+    return ~_eval_and(gate, values, mask) & mask
+
+
+def _eval_or(gate: Gate, values: Mapping[str, int], mask: int) -> int:
+    ins = gate.inputs
+    if len(ins) == 2:
+        return values[ins[0]] | values[ins[1]]
+    acc = values[ins[0]]
+    for name in ins[1:]:
+        acc |= values[name]
+    return acc
+
+
+def _eval_nor(gate: Gate, values: Mapping[str, int], mask: int) -> int:
+    return ~_eval_or(gate, values, mask) & mask
+
+
+def _eval_xor(gate: Gate, values: Mapping[str, int], mask: int) -> int:
+    ins = gate.inputs
+    if len(ins) == 2:
+        return values[ins[0]] ^ values[ins[1]]
+    acc = values[ins[0]]
+    for name in ins[1:]:
+        acc ^= values[name]
+    return acc
+
+
+def _eval_xnor(gate: Gate, values: Mapping[str, int], mask: int) -> int:
+    return ~_eval_xor(gate, values, mask) & mask
+
+
+def _eval_buf(gate: Gate, values: Mapping[str, int], mask: int) -> int:
+    return values[gate.inputs[0]]
+
+
+def _eval_not(gate: Gate, values: Mapping[str, int], mask: int) -> int:
+    return ~values[gate.inputs[0]] & mask
+
+
+def _eval_const0(gate: Gate, values: Mapping[str, int], mask: int) -> int:
+    return 0
+
+
+def _eval_const1(gate: Gate, values: Mapping[str, int], mask: int) -> int:
+    return mask
+
+
+GATE_EVAL = {
+    GateType.AND: _eval_and,
+    GateType.NAND: _eval_nand,
+    GateType.OR: _eval_or,
+    GateType.NOR: _eval_nor,
+    GateType.XOR: _eval_xor,
+    GateType.XNOR: _eval_xnor,
+    GateType.BUF: _eval_buf,
+    GateType.NOT: _eval_not,
+    GateType.CONST0: _eval_const0,
+    GateType.CONST1: _eval_const1,
+}
+
+
 def eval_gate(gate: Gate, values: Mapping[str, int], mask: int) -> int:
     """Evaluate one gate over packed values."""
-    gtype = gate.gtype
-    if gtype is GateType.CONST0:
-        return 0
-    if gtype is GateType.CONST1:
-        return mask
-    ins = [values[i] for i in gate.inputs]
-    if gtype is GateType.BUF:
-        return ins[0]
-    if gtype is GateType.NOT:
-        return ~ins[0] & mask
-    acc = ins[0]
-    if gtype in (GateType.AND, GateType.NAND):
-        for v in ins[1:]:
-            acc &= v
-        return acc if gtype is GateType.AND else ~acc & mask
-    if gtype in (GateType.OR, GateType.NOR):
-        for v in ins[1:]:
-            acc |= v
-        return acc if gtype is GateType.OR else ~acc & mask
-    # XOR / XNOR
-    for v in ins[1:]:
-        acc ^= v
-    return acc if gtype is GateType.XOR else ~acc & mask
+    return GATE_EVAL[gate.gtype](gate, values, mask)
 
 
 def simulate(
@@ -70,8 +124,9 @@ def simulate(
             values[q] = state[q] & mask
         else:
             values[q] = mask if flop.init else 0
+    evaluators = GATE_EVAL
     for gate in circuit.topo_order():
-        values[gate.output] = eval_gate(gate, values, mask)
+        values[gate.output] = evaluators[gate.gtype](gate, values, mask)
     return values
 
 

@@ -110,20 +110,24 @@ def run_campaign(
     seed: int = 0,
     db=None,
     workers: int = 1,
+    executor: str = "auto",
 ) -> SeuCampaignResult:
     """SEU campaign over flops × cycles (exhaustive or sampled).
 
     ``sample`` caps the number of injections drawn uniformly from the
     space; ``None`` means exhaustive.  Execution runs on the unified
     campaign engine: ``db`` persists every injection to a
-    :class:`repro.core.campaign.CampaignDb`, and ``workers`` > 1 runs
-    batches on a thread pool with results identical to the serial run.
+    :class:`repro.core.campaign.CampaignDb`, ``workers`` > 1 runs
+    batches concurrently, and ``executor`` picks the strategy
+    (serial/thread/process/auto) — results are identical to the serial
+    run for any combination.
     """
     from ..engine.backends import SeuBackend
     from ..engine.core import EngineConfig, run_campaign as run_engine
 
     backend = SeuBackend(circuit, stimuli, targets, cycles)
-    config = EngineConfig(workers=workers, sample=sample, seed=seed)
+    config = EngineConfig(workers=workers, sample=sample, seed=seed,
+                          executor=executor)
     report = run_engine(backend, config, db=db)
     result = SeuCampaignResult(n_cycles=len(stimuli))
     result.injections = [SeuInjection(inj.location, inj.cycle, inj.outcome)

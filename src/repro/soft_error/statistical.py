@@ -71,6 +71,7 @@ def run_study(
     seed: int = 0,
     db=None,
     workers: int = 1,
+    executor: str = "auto",
 ) -> StatisticalStudy:
     """Run the exhaustive campaign, then sampled campaigns of each size.
 
@@ -82,7 +83,8 @@ def run_study(
     The exhaustive baseline runs on the unified campaign engine;
     ``db``/``workers`` are forwarded to it.
     """
-    exhaustive = run_campaign(circuit, stimuli, db=db, workers=workers)
+    exhaustive = run_campaign(circuit, stimuli, db=db, workers=workers,
+                              executor=executor)
     study = StatisticalStudy(exhaustive=exhaustive)
     study.recommended_n = sample_size(exhaustive.total, margin, confidence)
     rng = random.Random(seed)
@@ -122,6 +124,7 @@ def adaptive_estimate(
     batch_size: int = 16,
     workers: int = 1,
     db=None,
+    executor: str = "auto",
 ) -> AdaptiveEstimate:
     """Estimate the failure rate with the engine's Wilson early stop.
 
@@ -139,6 +142,7 @@ def adaptive_estimate(
     config = EngineConfig(
         batch_size=batch_size,
         workers=workers,
+        executor=executor,
         shuffle=True,  # an early-stopped prefix must be an unbiased sample
         seed=seed,
         early_stop=EarlyStop(outcome=FAILURE, margin=margin,

@@ -1,0 +1,366 @@
+"""Tests for the pluggable executor layer (`repro.engine.executors`).
+
+Covers: backend/circuit picklability (caches dropped, behavior
+preserved), process/thread/serial result parity down to the DB rows,
+the auto probe's fallback decisions, early-stop draining (no
+speculative injections recorded), and per-chunk RNG determinism across
+executors and worker counts.
+"""
+
+import pickle
+
+import pytest
+
+from repro.autosoc import APPLICATIONS, SocConfig
+from repro.autosoc.fi import make_injections
+from repro.circuit import load
+from repro.core import CampaignDb
+from repro.engine import (
+    EarlyStop,
+    EngineConfig,
+    Injection,
+    PpsfpBackend,
+    SafetyBackend,
+    SeuBackend,
+    SocBackend,
+    chunk_seed,
+    plan_executor,
+    run_campaign,
+)
+from repro.engine import executors
+from repro.faults import collapse
+from repro.sim import exhaustive_patterns, fault_simulate, random_patterns, simulate
+from repro.soft_error import random_workload
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+def _seu_backend():
+    circuit = load("rand_seq")
+    return SeuBackend(circuit, random_workload(circuit, 6, seed=7))
+
+
+def _ppsfp_backend():
+    circuit = load("c17")
+    faults, _ = collapse(circuit)
+    packed, n = exhaustive_patterns(circuit.inputs)
+    return PpsfpBackend(circuit, faults, [(packed, n)])
+
+
+def _safety_backend():
+    circuit = load("c17")
+    faults, _ = collapse(circuit)
+    packed, n = exhaustive_patterns(circuit.inputs)
+    return SafetyBackend(circuit, faults, [circuit.outputs[0]],
+                         circuit.outputs[1:], packed, n)
+
+
+def _soc_backend():
+    app = APPLICATIONS["fibonacci"]
+    return SocBackend(app, SocConfig.LOCKSTEP,
+                      make_injections(app, n_cpu=6, n_ram=4, seed=1))
+
+BACKEND_FACTORIES = {
+    "seu": _seu_backend,
+    "ppsfp": _ppsfp_backend,
+    "safety": _safety_backend,
+    "autosoc": _soc_backend,
+}
+
+
+class NoisyBackend:
+    """Stochastic toy backend: outcomes come from the per-chunk RNG the
+    engine hands to ``run_batch_seeded`` — the hook stochastic workloads
+    use to stay deterministic at any worker count/executor."""
+
+    name = "noisy"
+    circuit_name = "toy"
+    fault_model = "bernoulli"
+
+    def __init__(self, n: int = 96) -> None:
+        self.n = n
+        self.workload = f"rng[{n}]"
+
+    def enumerate_points(self):
+        return list(range(self.n))
+
+    def prepare(self) -> None:
+        return None
+
+    def run_batch(self, points):
+        raise AssertionError("engine must use the seeded hook when present")
+
+    def run_batch_seeded(self, points, rng):
+        return [Injection(point=p, location=f"p{p}", cycle=0,
+                          outcome="hit" if rng.random() < 0.3 else "miss")
+                for p in points]
+
+
+class UnpicklableBackend:
+    """A backend the process pool cannot ship (holds a lambda)."""
+
+    name = "unpicklable"
+    circuit_name = "toy"
+    fault_model = "none"
+    workload = "toy"
+
+    def __init__(self, n: int = 40) -> None:
+        self.classify = lambda p: "even" if p % 2 == 0 else "odd"
+        self.n = n
+
+    def enumerate_points(self):
+        return list(range(self.n))
+
+    def prepare(self) -> None:
+        return None
+
+    def run_batch(self, points):
+        return [Injection(point=p, location=f"p{p}", cycle=0,
+                          outcome=self.classify(p)) for p in points]
+
+
+def _rows(report):
+    return [(i.location, i.cycle, i.outcome) for i in report.injections]
+
+
+def _db_rows(db):
+    return db.conn.execute(
+        "SELECT location, cycle, outcome FROM injections ORDER BY id"
+    ).fetchall()
+
+
+# ----------------------------------------------------------------------
+# picklability
+# ----------------------------------------------------------------------
+class TestPickling:
+    def test_circuit_pickle_drops_caches_and_rebuilds(self):
+        circuit = load("rand_seq")
+        faults, _ = collapse(circuit)
+        packed = random_patterns(circuit.inputs, 8, seed=3)
+        state = random_patterns(circuit.flops, 8, seed=4)
+        reference = fault_simulate(circuit, faults, packed, 8, state=state)
+        assert circuit._topo_cache and circuit._cone_cache  # caches warm
+
+        clone = pickle.loads(pickle.dumps(circuit))
+        assert clone._topo_cache is None
+        assert clone._fanout_cache is None
+        assert clone._topo_index_cache is None
+        assert clone._cone_cache == {}
+        # lazily rebuilt caches reproduce identical behavior
+        assert [g.output for g in clone.topo_order()] \
+            == [g.output for g in circuit.topo_order()]
+        assert simulate(clone, packed, 8, state) \
+            == simulate(circuit, packed, 8, state)
+        replay = fault_simulate(clone, faults, packed, 8, state=state)
+        assert replay.detected == reference.detected
+        assert replay.undetected == reference.undetected
+
+    @pytest.mark.parametrize("kind", sorted(BACKEND_FACTORIES))
+    def test_backend_roundtrip_preserves_batches(self, kind):
+        original = BACKEND_FACTORIES[kind]()
+        clone = pickle.loads(pickle.dumps(original))
+        original.prepare()
+        clone.prepare()
+        points = list(original.enumerate_points())[:8]
+        assert [(i.location, i.cycle, i.outcome)
+                for i in original.run_batch(points)] \
+            == [(i.location, i.cycle, i.outcome)
+                for i in clone.run_batch(points)]
+
+    def test_prepare_is_idempotent(self):
+        backend = _seu_backend()
+        backend.prepare()
+        golden = backend._golden
+        backend.prepare()
+        assert backend._golden is golden  # not recomputed
+
+    def test_prepared_state_not_shipped(self):
+        backend = _seu_backend()
+        backend.prepare()
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone._golden is None  # workers rebuild it via prepare()
+        clone.prepare()
+        points = list(backend.enumerate_points())[:6]
+        assert clone.run_batch(points) == backend.run_batch(points)
+
+
+# ----------------------------------------------------------------------
+# executor parity: identical campaigns on serial / thread / process
+# ----------------------------------------------------------------------
+class TestExecutorParity:
+    @pytest.mark.parametrize("kind", sorted(BACKEND_FACTORIES))
+    def test_all_executors_identical_outcomes_and_db_rows(self, kind):
+        results = {}
+        for executor in EXECUTORS:
+            db = CampaignDb()
+            report = run_campaign(
+                BACKEND_FACTORIES[kind](),
+                EngineConfig(batch_size=8, workers=2, executor=executor,
+                             seed=13),
+                db=db)
+            assert report.executor == executor
+            results[executor] = (report.outcomes, _rows(report), _db_rows(db))
+            db.close()
+        assert results["serial"] == results["thread"] == results["process"]
+
+    def test_process_matches_serial_with_sampling_and_shuffle(self):
+        rows = []
+        for executor in ("serial", "process"):
+            report = run_campaign(
+                _seu_backend(),
+                EngineConfig(batch_size=8, workers=2, executor=executor,
+                             sample=48, seed=21))
+            rows.append(_rows(report))
+        assert rows[0] == rows[1]
+
+
+# ----------------------------------------------------------------------
+# the auto probe
+# ----------------------------------------------------------------------
+class TestAutoProbe:
+    def test_single_cpu_resolves_serial(self, monkeypatch):
+        monkeypatch.setattr(executors, "_usable_cpus", lambda: 1)
+        backend = _seu_backend()
+        config = EngineConfig(batch_size=8, workers=4)
+        chunks = [[0], [1], [2]]
+        plan = plan_executor(backend, chunks, config, [1, 2, 3])
+        assert plan.name == "serial"
+        assert "CPU" in plan.reason
+
+    def test_single_worker_resolves_serial(self):
+        plan = plan_executor(_seu_backend(), [[0], [1]],
+                             EngineConfig(workers=1), [1, 2])
+        assert plan.name == "serial"
+
+    def test_unpicklable_backend_falls_back_to_thread(self, monkeypatch):
+        monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
+        # zero thresholds so the probe reaches the pickle attempt
+        monkeypatch.setattr(executors, "MIN_BATCH_COST_S", 0.0)
+        monkeypatch.setattr(executors, "MIN_CAMPAIGN_COST_S", 0.0)
+        backend = UnpicklableBackend()
+        plan = plan_executor(backend, [[0], [1]],
+                             EngineConfig(workers=2), [1, 2])
+        assert plan.name == "thread"
+        assert "not picklable" in plan.reason
+        assert plan.probe_batches is not None  # probe work still handed back
+
+    def test_cheap_batches_fall_back_to_thread(self, monkeypatch):
+        monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
+        backend = _seu_backend()
+        points = list(backend.enumerate_points())
+        chunks = [points[i:i + 4] for i in range(0, 16, 4)]
+        seeds = [chunk_seed(0, i) for i in range(len(chunks))]
+        plan = plan_executor(backend, chunks, EngineConfig(workers=2), seeds)
+        assert plan.name == "thread"
+        assert plan.probe_batches is not None  # probe work is handed back
+
+    def test_costly_picklable_campaign_resolves_process(self, monkeypatch):
+        monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
+        monkeypatch.setattr(executors, "MIN_BATCH_COST_S", 0.0)
+        monkeypatch.setattr(executors, "MIN_CAMPAIGN_COST_S", 0.0)
+        backend = _seu_backend()
+        points = list(backend.enumerate_points())
+        chunks = [points[i:i + 8] for i in range(0, 32, 8)]
+        seeds = [chunk_seed(0, i) for i in range(len(chunks))]
+        plan = plan_executor(backend, chunks, EngineConfig(workers=2), seeds)
+        assert plan.name == "process"
+        assert plan.payload is not None
+
+    def test_auto_campaign_matches_serial(self, monkeypatch):
+        # force the probe down the thread path on any host: probe chunk 0
+        # runs in the parent and must be accounted exactly once
+        monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
+        serial = run_campaign(_seu_backend(),
+                              EngineConfig(batch_size=8, executor="serial"))
+        auto = run_campaign(_seu_backend(),
+                            EngineConfig(batch_size=8, workers=2,
+                                         executor="auto"))
+        assert auto.executor in ("thread", "process")
+        assert _rows(auto) == _rows(serial)
+        assert auto.total == serial.planned
+
+    def test_explicit_process_with_unpicklable_backend_falls_back(
+            self, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.engine"):
+            report = run_campaign(
+                UnpicklableBackend(),
+                EngineConfig(batch_size=8, workers=2, executor="process"))
+        assert report.executor == "thread"
+        assert any("falling back" in r.message for r in caplog.records)
+        assert report.total == 40
+        assert report.outcomes == {"even": 20, "odd": 20}
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            EngineConfig(executor="bogus")
+
+
+# ----------------------------------------------------------------------
+# early stop: speculative chunks are cancelled, drained, never recorded
+# ----------------------------------------------------------------------
+class TestEarlyStopDrain:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_no_speculative_injections_recorded(self, executor):
+        db = CampaignDb()
+        accounted = []
+        report = run_campaign(
+            _seu_backend(),
+            EngineConfig(batch_size=4, workers=2, executor=executor,
+                         shuffle=True, seed=5,
+                         early_stop=EarlyStop(outcome="failure", margin=0.12,
+                                              min_injections=12)),
+            db=db,
+            on_chunk=lambda r: accounted.append(r.total))
+        assert report.converged
+        assert report.total < report.planned
+        # every accounted chunk is in the DB; nothing speculative leaked
+        assert len(_db_rows(db)) == report.total
+        assert accounted == sorted(accounted)
+        assert accounted[-1] == report.total
+        db.close()
+
+    def test_convergence_point_identical_across_executors(self):
+        totals = set()
+        for executor in EXECUTORS:
+            report = run_campaign(
+                _seu_backend(),
+                EngineConfig(batch_size=4, workers=3, executor=executor,
+                             shuffle=True, seed=5,
+                             early_stop=EarlyStop(outcome="failure",
+                                                  margin=0.12,
+                                                  min_injections=12)))
+            totals.add((report.converged, report.total))
+        assert len(totals) == 1
+
+
+# ----------------------------------------------------------------------
+# per-chunk RNG: one stream per chunk, same stream everywhere
+# ----------------------------------------------------------------------
+class TestChunkRng:
+    def test_chunk_seed_is_deterministic_and_spread(self):
+        seeds = [chunk_seed(42, i) for i in range(64)]
+        assert seeds == [chunk_seed(42, i) for i in range(64)]
+        assert len(set(seeds)) == 64
+        assert set(seeds).isdisjoint({chunk_seed(43, i) for i in range(64)})
+
+    @pytest.mark.parametrize("executor,workers", [
+        ("serial", 1), ("thread", 3), ("process", 2)])
+    def test_seeded_backend_identical_everywhere(self, executor, workers):
+        reference = run_campaign(
+            NoisyBackend(), EngineConfig(batch_size=16, executor="serial",
+                                         seed=9))
+        report = run_campaign(
+            NoisyBackend(), EngineConfig(batch_size=16, workers=workers,
+                                         executor=executor, seed=9))
+        assert _rows(report) == _rows(reference)
+        assert 0 < report.count("hit") < report.total  # both outcomes occur
+
+    def test_batch_size_changes_streams_but_not_determinism(self):
+        a = run_campaign(NoisyBackend(),
+                         EngineConfig(batch_size=8, executor="serial", seed=9))
+        b = run_campaign(NoisyBackend(),
+                         EngineConfig(batch_size=8, workers=2,
+                                      executor="process", seed=9))
+        assert _rows(a) == _rows(b)
