@@ -18,6 +18,9 @@ Four measurements:
    spawn/ship overhead.
 4. **PPSFP-statistical scaling**: a seeded fault-sample campaign on a
    larger random circuit over the same executor grid (abridged).
+5. **RSN-diagnosis and GPGPU-SEU scaling**: the two workload families
+   ported in the full-port PR, on abridged executor grids — their rows
+   gate outcome identity for the new backends in CI.
 
 Runs standalone (``python benchmarks/bench_engine_smoke.py``) or under
 pytest; both write ``BENCH_engine.json`` at the repo root.
@@ -27,16 +30,28 @@ has the cores to scale).
 """
 
 import json
+import random
 import time
 from collections import deque
+from functools import partial
 from pathlib import Path
 
 from repro.circuit import load
 from repro.circuit.library import random_combinational
 from repro.core import CampaignDb, format_table
-from repro.engine import EngineConfig, PpsfpBackend, SeuBackend, run_campaign
+from repro.engine import (
+    EngineConfig,
+    GpgpuSeuBackend,
+    PpsfpBackend,
+    RsnDiagnosisBackend,
+    SeuBackend,
+    run_campaign,
+)
 from repro.engine.executors import _usable_cpus as _host_cpus
 from repro.faults import collapse
+from repro.gpgpu import reduction_kernel
+from repro.gpgpu.apps import _draw_faults, _run as _run_simt
+from repro.rsn import all_rsn_faults, compact_test, sib_tree
 from repro.sim import fault_simulate_batched, random_patterns
 from repro.sim.fault_sim import _observe_nets
 from repro.sim.logic import GateType, eval_gate, mask_of, simulate
@@ -281,6 +296,48 @@ def _ppsfp_statistical_scaling(n_gates=2000, n_batches=10, sample=4000):
     }
 
 
+def _rsn_diagnosis_scaling(depth=3):
+    factory = partial(sib_tree, depth=depth, regs_per_leaf=1, reg_bits=8)
+    faults = all_rsn_faults(factory())
+    test = compact_test(factory)
+
+    def make_backend():
+        return RsnDiagnosisBackend(factory, faults, test)
+
+    grid = [("serial", 1), ("thread", 4), ("process", 2), ("process", 4)]
+    rows, identical = _sweep(make_backend, {"batch_size": 8}, grid)
+    return {
+        "network": factory().name,
+        "fault_universe": len(faults),
+        "test_shift_cycles": test.shift_cycles,
+        "grid": rows,
+        "outcome_identical": identical,
+        "process_x4_speedup": rows["process_x4"]["speedup_vs_serial"],
+    }
+
+
+def _gpgpu_seu_scaling(n_injections=240):
+    rng = random.Random(2)
+    inputs = [rng.randrange(256) for _ in range(128)]
+    kernel = reduction_kernel()
+    _golden, issues = _run_simt(kernel, inputs, [])
+    faults = _draw_faults(rng, n_injections, 32, issues)
+
+    def make_backend():
+        return GpgpuSeuBackend(kernel, inputs, faults, label="reduction")
+
+    grid = [("serial", 1), ("thread", 4), ("process", 2), ("process", 4)]
+    rows, identical = _sweep(make_backend, {"batch_size": 16}, grid)
+    return {
+        "kernel": "reduction",
+        "issue_slots": issues,
+        "n_injections": n_injections,
+        "grid": rows,
+        "outcome_identical": identical,
+        "process_x4_speedup": rows["process_x4"]["speedup_vs_serial"],
+    }
+
+
 def run_smoke():
     cpus = _host_cpus()
     seu = _seu_scaling()
@@ -294,6 +351,8 @@ def run_smoke():
         "executor_scaling": {
             "seu": seu,
             "ppsfp_statistical": ppsfp_stat,
+            "rsn_diagnosis": _rsn_diagnosis_scaling(),
+            "gpgpu_seu": _gpgpu_seu_scaling(),
         },
     }
     if cpus < 2:

@@ -3,6 +3,8 @@
 Reads the record written by ``bench_engine_smoke.py`` and fails (exit 1)
 when the engine's perf claims regress:
 
+* a ported workload's scaling sweep is missing from the record (every
+  workload on the engine must keep its outcome-identity row);
 * any executor cell produced non-identical campaign outcomes;
 * the PPSFP fast path lost its >= 2x speedup or its losslessness;
 * on a multicore host, the process executor at 4 workers is slower than
@@ -20,6 +22,10 @@ import sys
 from pathlib import Path
 
 DEFAULT_RECORD = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Workloads whose executor sweep (and outcome identity) CI insists on.
+PORTED_WORKLOADS = ("seu", "ppsfp_statistical", "rsn_diagnosis",
+                    "gpgpu_seu")
 
 
 def check(record: dict) -> list[str]:
@@ -39,6 +45,10 @@ def check(record: dict) -> list[str]:
             "vs the if/elif chain")
 
     scaling = record["executor_scaling"]
+    for workload in PORTED_WORKLOADS:
+        if workload not in scaling:
+            failures.append(
+                f"{workload}: scaling sweep missing from the bench record")
     for workload, data in scaling.items():
         if not data["outcome_identical"]:
             failures.append(

@@ -2,23 +2,31 @@
 """IEEE 1687 instrument access, test and aging (Section III.E).
 
 Builds a SIB-tree scan network, retargets instrument writes, compares
-test-generation strategies, and quantifies NBTI aging of the rarely-used
-segments with and without the dummy-cycle mitigation.
+test-generation strategies (each coverage run is a unified-engine
+signature campaign with ``executor="auto"``), runs the diagnosis
+campaign with its report printed, and quantifies NBTI aging of the
+rarely-used segments with and without the dummy-cycle mitigation.
 """
+
+from functools import partial
 
 from repro.core import format_kv, format_table
 from repro.rsn import (
     all_rsn_faults,
+    compact_test,
     compare_strategies,
     mitigate_with_dummy_cycles,
     naive_access_cost,
     retarget,
     sib_tree,
+    signature_campaign,
 )
 
 
 def main() -> None:
-    factory = lambda: sib_tree(depth=3, regs_per_leaf=1, reg_bits=8)
+    # partial (not a lambda) so the engine's process executor could ship
+    # the factory to workers; "auto" still picks the right strategy here
+    factory = partial(sib_tree, depth=3, regs_per_leaf=1, reg_bits=8)
 
     # --- retargeting: optimized vs flatten-everything
     network = factory()
@@ -34,9 +42,9 @@ def main() -> None:
         ("saving", f"{1 - result.shift_cycles / naive:.0%}"),
     ], title="instrument access (retargeting)"))
 
-    # --- test strategies
+    # --- test strategies (engine-backed signature campaigns)
     faults = all_rsn_faults(factory())
-    comparison = compare_strategies(factory, faults)
+    comparison = compare_strategies(factory, faults, executor="auto")
     print(format_table(
         ["strategy", "shift cycles", "fault coverage"],
         [("exhaustive (per-SIB)", comparison.exhaustive_cycles,
@@ -45,6 +53,16 @@ def main() -> None:
           f"{comparison.compact_coverage:.2f}")],
         title=f"\nRSN test over {len(faults)} faults "
               f"(duration cut {comparison.duration_reduction:.0%})"))
+
+    # --- diagnosis signature campaign, with the engine's report
+    table, report = signature_campaign(factory, faults,
+                                       compact_test(factory),
+                                       executor="auto")
+    print(format_kv([
+        ("diagnosis resolution", f"{table.resolution():.2f}"),
+        ("detected fraction", f"{table.detected_fraction():.2f}"),
+        ("engine report", report.describe()),
+    ], title="\nRSN diagnosis on the campaign engine"))
 
     # --- NBTI aging of idle segments
     network = factory()

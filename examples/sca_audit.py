@@ -3,17 +3,24 @@
 
 Audits four implementations for timing leakage, then demonstrates what
 an attacker does with a leak: CPA key recovery from power traces of the
-leaky AES, silence against the masked constant-time variant.
+leaky AES, silence against the masked constant-time variant.  Trace
+acquisition runs as unified-engine campaigns (``executor="auto"``), and
+the engine's campaign reports are printed alongside the attack results.
 """
 
-from repro.core import format_table
+from repro.core import CampaignDb, format_table
 from repro.crypto import (
     AesConstantTime,
     AesLeaky,
     montgomery_ladder,
     square_and_multiply,
 )
-from repro.security import audit_timing, success_rate_curve, tvla
+from repro.security import (
+    audit_timing,
+    recover_key,
+    trace_campaign,
+    tvla_campaign,
+)
 
 KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
 
@@ -40,14 +47,22 @@ def main() -> None:
     print(format_table(["implementation", "verdict", "|t|", "HW corr",
                         "details"], rows, title="timing audit"))
 
-    print("\npower side channel (TVLA then CPA):")
+    print("\npower side channel — engine trace campaigns (TVLA then CPA):")
+    db = CampaignDb()
     for name, cipher_factory in (("leaky", lambda: AesLeaky(KEY)),
                                  ("constant-time", lambda: AesConstantTime(KEY))):
-        leak = tvla(cipher_factory(), 100, seed=5)
-        curve = success_rate_curve(cipher_factory, KEY, [10, 25, 50], seed=4)
-        curve_str = ", ".join(f"{n}tr:{rate:.2f}" for n, rate in curve)
+        leak, tvla_report = tvla_campaign(cipher_factory(), 100, seed=5,
+                                          db=db, executor="auto")
+        traces, cpa_report = trace_campaign(cipher_factory(), 50, seed=4,
+                                            db=db, executor="auto")
+        recovered = recover_key(traces)
+        correct = sum(1 for a, b in zip(recovered, KEY) if a == b)
         print(f"  {name:14s} TVLA max|t|={leak.max_t:5.1f} "
-              f"leaks={leak.leaks!s:5s}  CPA key bytes: {curve_str}")
+              f"leaks={leak.leaks!s:5s}  CPA @50 traces: {correct}/16 bytes")
+        print(f"    {tvla_report.describe()}")
+        print(f"    {cpa_report.describe()}")
+    print(f"  campaign DB outcomes: {db.cross_campaign_outcomes()}")
+    db.close()
 
 
 if __name__ == "__main__":

@@ -176,6 +176,11 @@ class AesLeaky:
         self.key = key
         self.round_keys = expand_key(key)
 
+    def fork(self, seed: int) -> "AesLeaky":
+        """Per-trace cipher for engine campaigns: stateless, so the
+        same instance serves every trace (see ScaTraceBackend)."""
+        return self
+
     def encrypt(self, plaintext: bytes) -> tuple[bytes, SideChannelTrace]:
         trace = SideChannelTrace()
         touched: set[int] = set()
@@ -215,6 +220,12 @@ class AesConstantTime:
         self.key = key
         self.round_keys = expand_key(key)
         self._rng = random.Random(mask_seed)
+
+    def fork(self, seed: int) -> "AesConstantTime":
+        """Per-trace cipher for engine campaigns: an independent mask
+        stream seeded per point, so trace values do not depend on the
+        order batches execute in (pure ``run_batch`` contract)."""
+        return AesConstantTime(self.key, mask_seed=seed)
 
     def encrypt(self, plaintext: bytes) -> tuple[bytes, SideChannelTrace]:
         trace = SideChannelTrace()

@@ -1,11 +1,14 @@
 """Unified fault-injection campaign engine (paper IV.A).
 
 One parallel, statistically-adaptive execution core behind every FI
-workload: backends adapt gate-level PPSFP, SEU, ISO 26262 safety and
-SoC-level campaigns onto a shared chunked/parallel/early-stopping
-runner with streaming CampaignDb persistence.  Execution strategies
-(serial / GIL-bound threads / spawn-safe multicore processes / auto
-probing) are pluggable via :mod:`repro.engine.executors`.
+workload: backends adapt gate-level PPSFP, SEU, ISO 26262 safety,
+SoC-level, RSN test/diagnosis, laser-FI, side-channel trace and GPGPU
+SEU campaigns — plus the dynamic-slicing campaign, which drives the
+engine's point-filter stage — onto a shared chunked/parallel/
+early-stopping runner with streaming CampaignDb persistence.
+Execution strategies (serial / GIL-bound threads / spawn-safe multicore
+processes / auto probing) are pluggable via
+:mod:`repro.engine.executors`.
 """
 
 from .backends import (
@@ -27,6 +30,30 @@ from .core import (
 )
 from .executors import EXECUTOR_CHOICES, ExecutorPlan, chunk_seed, plan_executor
 
+#: Exports resolved lazily from ``.workloads`` (PEP 562): process-pool
+#: workers unpickling one of the original backends import this package,
+#: and must not pay for the new workload families' module graph.
+_WORKLOAD_EXPORTS = frozenset({
+    "GpgpuSeuBackend",
+    "LaserFiBackend",
+    "RsnDiagnosisBackend",
+    "SKIP_DEAD_FLOP",
+    "SKIP_NO_ACTIVATION",
+    "SKIP_NO_PATH",
+    "ScaTraceBackend",
+    "SlicingBackend",
+    "point_seed",
+})
+
+
+def __getattr__(name: str):
+    if name in _WORKLOAD_EXPORTS or name == "workloads":
+        from importlib import import_module
+
+        workloads = import_module(".workloads", __name__)
+        return workloads if name == "workloads" else getattr(workloads, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "CampaignReport",
     "DETECTED",
@@ -34,15 +61,24 @@ __all__ = [
     "EarlyStop",
     "EngineConfig",
     "ExecutorPlan",
+    "GpgpuSeuBackend",
     "Injection",
     "InjectionBackend",
+    "LaserFiBackend",
     "PpsfpBackend",
+    "RsnDiagnosisBackend",
+    "SKIP_DEAD_FLOP",
+    "SKIP_NO_ACTIVATION",
+    "SKIP_NO_PATH",
     "SafetyBackend",
+    "ScaTraceBackend",
     "SeuBackend",
+    "SlicingBackend",
     "SocBackend",
     "UNDETECTED",
     "chunk_seed",
     "plan_executor",
+    "point_seed",
     "ppsfp_result",
     "run_campaign",
 ]

@@ -102,6 +102,13 @@ class SeuBackend:
     Points are ``(flop, cycle)`` pairs; outcomes are the classic
     masked / latent / failure split of :func:`repro.soft_error.seu
     .inject_seu` against a shared golden run.
+
+    ``skip_dead_flops=True`` opts into the engine's point-filter stage:
+    a flop whose single-cycle fan-out cone reaches no primary output and
+    no flop D input cannot change the observable trace or the next
+    state, so every injection on it is provably ``masked`` — the same
+    lossless skip-rule machinery :class:`repro.engine.workloads
+    .SlicingBackend` uses, reused for dead state bits.
     """
 
     name = "seu"
@@ -113,6 +120,7 @@ class SeuBackend:
         stimuli: Sequence[Mapping[str, int]],
         targets: Sequence[str] | None = None,
         cycles: Sequence[int] | None = None,
+        skip_dead_flops: bool = False,
     ) -> None:
         if not circuit.flops:
             raise ValueError(f"{circuit.name} has no flops to upset")
@@ -123,10 +131,41 @@ class SeuBackend:
         self.targets = list(targets if targets is not None else circuit.flops)
         self.cycles = list(cycles if cycles is not None
                            else range(len(self.stimuli)))
+        self.skip_dead_flops = skip_dead_flops
+        self.use_filter = skip_dead_flops  # engine filter-stage gate
         self._golden: tuple | None = None
 
     def enumerate_points(self) -> Sequence[tuple[str, int]]:
         return [(flop, cyc) for flop in self.targets for cyc in self.cycles]
+
+    def filter_points(self, points: Sequence[tuple[str, int]]
+                      ) -> tuple[list, list[Injection]]:
+        """Resolve injections on dead flops as ``masked`` without
+        simulating them (only when ``skip_dead_flops`` is set)."""
+        if not self.skip_dead_flops:
+            return list(points), []
+        from ..circuit.levelize import fanout_cone
+        from .workloads import SKIP_DEAD_FLOP
+
+        observables = set(self.circuit.outputs)
+        d_nets = {flop.d for flop in self.circuit.flops.values()}
+        dead: dict[str, bool] = {}
+
+        def is_dead(flop: str) -> bool:
+            if flop not in dead:
+                cone = fanout_cone(self.circuit, [flop], through_flops=False)
+                dead[flop] = not (cone & observables) and not (cone & d_nets)
+            return dead[flop]
+
+        kept, skipped = [], []
+        for flop, cyc in points:
+            if is_dead(flop):
+                skipped.append(Injection(point=(flop, cyc), location=flop,
+                                         cycle=cyc, outcome="masked",
+                                         detail=SKIP_DEAD_FLOP))
+            else:
+                kept.append((flop, cyc))
+        return kept, skipped
 
     def prepare(self) -> None:
         if self._golden is None:  # idempotent: re-run per worker process

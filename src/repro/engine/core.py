@@ -7,6 +7,10 @@ accounting.  This module is the one execution core behind all of them:
 
 * an :class:`InjectionBackend` protocol: enumerate injection points, run
   one batch, classify outcomes;
+* an optional **point-filter stage**: a backend may prove the outcome of
+  some points from golden-run data alone (``filter_points``); those
+  points are accounted as first-class outcomes without ever being
+  simulated — the engine-level form of dynamic-slicing skip rules;
 * chunked batch execution over a ``concurrent.futures`` worker pool with
   results accounted in deterministic chunk order — the same campaign
   yields bit-identical results at any worker count;
@@ -78,6 +82,19 @@ class InjectionBackend(Protocol):
     own ``random.Random`` derived from ``(campaign seed, chunk index)``,
     which keeps results identical at any worker count and executor
     choice.
+
+    Backends that can prove some outcomes from the golden run alone may
+    provide an optional ``filter_points(points) -> (kept,
+    skipped_outcomes)`` method.  The engine calls it exactly once, in
+    the parent, after sampling and before chunking (``prepare()`` runs
+    first so the filter can consult golden data); ``skipped_outcomes``
+    is a list of ready-made :class:`Injection` results that are
+    accounted — and persisted — as first-class outcomes without ever
+    being executed.  Filters must be *lossless*: a skipped point's
+    outcome must equal what ``run_batch`` would have produced.  A
+    backend with a switchable filter may also expose a ``use_filter``
+    attribute; when it is False the stage (including its parent-side
+    ``prepare()``) is skipped entirely.
     """
 
     name: str
@@ -147,13 +164,20 @@ class EngineConfig:
 
 @dataclass
 class CampaignReport:
-    """Aggregated engine output, common to every backend."""
+    """Aggregated engine output, common to every backend.
+
+    ``injections`` holds executed points; ``skipped`` holds points the
+    backend's filter stage resolved from golden data alone.  Both are
+    first-class outcomes: counts, rates and confidence intervals cover
+    their union, so a filter only changes *cost*, never statistics.
+    """
 
     backend: str
     circuit: str
     fault_model: str
     workload: str
     injections: list[Injection] = field(default_factory=list)
+    skipped: list[Injection] = field(default_factory=list)
     population: int = 0
     planned: int = 0
     converged: bool = False
@@ -163,18 +187,29 @@ class CampaignReport:
     executor: str = "serial"  # resolved strategy the campaign ran on
 
     @property
-    def total(self) -> int:
+    def executed(self) -> int:
         return len(self.injections)
+
+    @property
+    def total(self) -> int:
+        return len(self.injections) + len(self.skipped)
+
+    @property
+    def skip_fraction(self) -> float:
+        return len(self.skipped) / self.total if self.total else 0.0
 
     @property
     def outcomes(self) -> dict[str, int]:
         acc: dict[str, int] = {}
         for inj in self.injections:
             acc[inj.outcome] = acc.get(inj.outcome, 0) + 1
+        for inj in self.skipped:
+            acc[inj.outcome] = acc.get(inj.outcome, 0) + 1
         return acc
 
     def count(self, outcome: str) -> int:
-        return sum(1 for inj in self.injections if inj.outcome == outcome)
+        n = sum(1 for inj in self.injections if inj.outcome == outcome)
+        return n + sum(1 for inj in self.skipped if inj.outcome == outcome)
 
     def rate(self, outcome: str) -> float:
         return self.count(outcome) / self.total if self.total else 0.0
@@ -192,6 +227,19 @@ class CampaignReport:
         """Leveugle bound for this campaign's population."""
         return sample_size(self.population, margin, confidence)
 
+    def describe(self) -> str:
+        """One-line human summary (what the examples print)."""
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(
+            self.outcomes.items(), key=lambda kv: (-kv[1], kv[0])))
+        skipped = (f" + {len(self.skipped)} filtered"
+                   if self.skipped else "")
+        return (f"campaign {self.backend}:{self.circuit} [{self.workload}] — "
+                f"{self.executed} executed{skipped} of {self.population} "
+                f"points on {self.executor} x{self.n_workers} "
+                f"({self.injections_per_second:.0f} inj/s"
+                f"{', converged early' if self.converged else ''}); "
+                f"outcomes: {counts or 'none'}")
+
 
 def _chunked(points: Sequence[Any], size: int) -> list[Sequence[Any]]:
     return [points[i:i + size] for i in range(0, len(points), size)]
@@ -203,7 +251,7 @@ def run_campaign(
     db: CampaignDb | None = None,
     on_chunk: Callable[[CampaignReport], None] | None = None,
 ) -> CampaignReport:
-    """Run a campaign: enumerate → (sample) → chunk → execute → account.
+    """Run a campaign: enumerate → (sample) → filter → chunk → execute.
 
     Deterministic at any worker count and executor choice: the sampled
     point list depends only on ``config.seed``, chunks (and their
@@ -212,6 +260,15 @@ def run_campaign(
     ``on_chunk`` (if given) observes the report after each accounted
     chunk — the hook used for progress streaming; it always runs in the
     calling thread, as does all CampaignDb persistence.
+
+    If the backend provides ``filter_points``, it runs exactly once here
+    in the parent (after ``prepare()``), on the post-sampling point
+    list; the outcomes it proves are accounted and persisted up front.
+    Early stop treats them as a census — known outcomes with zero
+    sampling variance — so the convergence check scales the executed
+    sample's Wilson half-width by the kept stratum's share of the
+    campaign; a filter that resolves every point converges the campaign
+    before executing a single batch.
     """
     points = list(backend.enumerate_points())
     population = len(points)
@@ -220,6 +277,21 @@ def run_campaign(
         points = rng.sample(points, config.sample)
     elif config.shuffle:
         points = rng.sample(points, population)
+    planned = len(points)
+
+    skipped: list[Injection] = []
+    filter_points = getattr(backend, "filter_points", None)
+    # backends with a switchable filter expose ``use_filter`` so a
+    # disabled filter costs nothing (no parent-side prepare)
+    if filter_points is not None and getattr(backend, "use_filter", True):
+        backend.prepare()  # filters consult golden-run data
+        kept, skipped_outcomes = filter_points(points)
+        points = list(kept)
+        skipped = list(skipped_outcomes)
+        if len(points) + len(skipped) != planned:
+            raise ValueError(
+                f"{backend.name}.filter_points dropped points: kept "
+                f"{len(points)} + skipped {len(skipped)} != {planned}")
     chunks = _chunked(points, max(1, config.batch_size))
     seeds = [chunk_seed(config.seed, i) for i in range(len(chunks))]
 
@@ -228,8 +300,9 @@ def run_campaign(
         circuit=backend.circuit_name,
         fault_model=backend.fault_model,
         workload=backend.workload,
+        skipped=skipped,
         population=population,
-        planned=len(points),
+        planned=planned,
         n_workers=max(1, config.workers),
     )
     if db is not None:
@@ -244,20 +317,52 @@ def run_campaign(
                 "executor": config.executor,
                 "sample": config.sample,
                 "seed": config.seed,
+                "filtered": len(skipped),
                 "early_stop": (config.early_stop.outcome
                                if config.early_stop else None),
             },
         )
+        if skipped:  # filtered outcomes are first-class rows in the DB
+            db.record_many(report.campaign_id,
+                           [inj.row() for inj in skipped])
 
     stop = config.early_stop
     pending_rows: list[tuple[str, int, str]] = []
     chunks_since_commit = 0
     start = time.perf_counter()
 
+    # Early-stop bookkeeping.  Filtered points are a *census* of their
+    # stratum (known outcomes, zero variance); only the executed sample
+    # of the kept points is uncertain.  The overall-rate half-width is
+    # therefore the executed-sample Wilson half-width scaled by the kept
+    # stratum's share of the campaign — treating skips as Bernoulli
+    # draws would bias the interval whenever the filtered subpopulation
+    # differs from the kept one.  Running tallies keep the per-chunk
+    # check O(batch), not O(history).
+    n_kept_planned = len(points)
+    kept_weight = n_kept_planned / planned if planned else 0.0
+    executed_hits = 0
+    executed_total = 0
+
+    def converged_now() -> bool:
+        """Is the overall outcome rate pinned down tightly enough?"""
+        if stop is None or report.total < stop.min_injections:
+            return False
+        if n_kept_planned == 0:
+            return True  # the filter resolved every point: nothing uncertain
+        if executed_total == 0:
+            return False
+        ci = wilson_interval(executed_hits, executed_total, stop.confidence)
+        return (ci.width / 2) * kept_weight <= stop.margin
+
     def account(batch: list[Injection]) -> bool:
         """Fold one chunk into the report; True = converged, stop."""
-        nonlocal chunks_since_commit
+        nonlocal chunks_since_commit, executed_hits, executed_total
         report.injections.extend(batch)
+        executed_total += len(batch)
+        if stop is not None:
+            executed_hits += sum(1 for inj in batch
+                                 if inj.outcome == stop.outcome)
         if db is not None and report.campaign_id is not None:
             pending_rows.extend(inj.row() for inj in batch)
             chunks_since_commit += 1
@@ -267,19 +372,20 @@ def run_campaign(
                 chunks_since_commit = 0
         if on_chunk is not None:
             on_chunk(report)
-        if stop is not None and report.total >= stop.min_injections:
-            ci = report.confidence_interval(stop.outcome, stop.confidence)
-            if ci.width / 2 <= stop.margin:
-                return True
-        return False
+        return converged_now()
+
+    # a filter that resolves every point (or enough that the residual
+    # uncertainty cannot exceed the margin) converges with zero execution
+    converged = bool(skipped) and converged_now()
 
     # resolve the executor (auto probes picklability and per-batch cost;
     # any chunks it executed while probing are accounted first, exactly
     # once, so determinism is unaffected)
-    if chunks:
+    if chunks and not converged:
         plan = plan_executor(backend, chunks, config, seeds)
     else:
-        plan = ExecutorPlan("serial", "empty campaign")
+        plan = ExecutorPlan("serial", "pre-converged by filtered outcomes"
+                            if converged else "empty campaign")
     if plan.reason:
         log.info("engine: executor=%s for %s:%s (%s)", plan.name,
                  backend.name, backend.circuit_name, plan.reason)
@@ -292,7 +398,6 @@ def run_campaign(
         accounted += 1
         return account(batch)
 
-    converged = False
     for batch in plan.probe_batches or ():
         if account_chunk(batch):
             converged = True

@@ -1,0 +1,389 @@
+"""Engine backends for the RSN, security, GPGPU and slicing workloads.
+
+These complete the port started in :mod:`repro.engine.backends`: every
+fault-effect campaign in the toolkit — dependability *and* security,
+gate level to instruction level — now runs through
+:func:`repro.engine.core.run_campaign`, so all of them inherit chunked
+parallel execution, seeded sampling, Wilson early stop and streaming
+CampaignDb persistence.  Kept separate from ``backends`` so process-pool
+workers for the original four workloads do not pay these modules'
+import cost.
+
+All backends here follow the shared contract: ``run_batch`` is pure
+with respect to prepared state, ``prepare()`` is idempotent, prepared
+state is dropped on pickling (workers rebuild it), and per-point
+randomness is derived from ``(seed, point index)`` so results are
+byte-identical at any worker count and executor choice.
+
+:class:`SlicingBackend` additionally exercises the engine's point-filter
+stage: its no-activation / no-path skip rules run once against the
+golden pass and resolve doomed injections as first-class ``masked``
+outcomes without simulating them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ..circuit.levelize import fanout_cone
+from ..circuit.netlist import Circuit
+from ..faults.models import StuckAtFault
+from .core import Injection
+from .executors import chunk_seed
+
+DETECTED = "detected"
+UNDETECTED = "undetected"
+
+#: Skip-rule tags carried in ``Injection.detail`` by filter stages.
+SKIP_NO_ACTIVATION = "no_activation"
+SKIP_NO_PATH = "no_path"
+SKIP_DEAD_FLOP = "dead_flop"
+
+
+def point_seed(seed: int, index: int) -> int:
+    """Per-point RNG seed: chunk-size independent, worker independent."""
+    return chunk_seed(seed, index)
+
+
+# ----------------------------------------------------------------------
+# RSN test / diagnosis
+# ----------------------------------------------------------------------
+class RsnDiagnosisBackend:
+    """Per-fault signature campaigns on reconfigurable scan networks.
+
+    Points are RSN faults (``SibStuck`` / ``MuxSelStuck`` /
+    ``CellStuck``); each is injected into a fresh network from
+    ``factory`` and driven through the golden-planned test, and the TDO
+    stream becomes its signature.  Outcome is ``detected`` when the
+    signature differs from the golden one — the quantity both
+    ``coverage`` and ``build_signature_table`` are built from; the
+    signature itself rides in ``detail`` for diagnosis.
+
+    ``factory`` must be picklable for the process executor (a
+    module-level function or ``functools.partial`` of one — not a
+    lambda; unpicklable factories fall back to threads with a logged
+    reason).
+    """
+
+    name = "rsn-diagnosis"
+    fault_model = "rsn-structural"
+
+    def __init__(self, factory: Callable[[], Any], faults: Sequence[Any],
+                 test: Any) -> None:
+        self.factory = factory
+        self.faults = list(faults)
+        self.test = test
+        self.circuit_name = factory().name
+        self.workload = f"rsn-test[{test.name}]"
+        self._golden: tuple[int, ...] | None = None
+
+    def enumerate_points(self) -> Sequence[Any]:
+        return self.faults
+
+    def prepare(self) -> None:
+        if self._golden is None:  # idempotent: re-run per worker process
+            self._golden = self._signature(None)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_golden"] = None  # workers re-run the golden test
+        return state
+
+    def _signature(self, fault: Any | None) -> tuple[int, ...]:
+        from ..rsn.test_gen import apply_test
+
+        network = self.factory()
+        network.reset()
+        if fault is not None:
+            network.inject(fault)
+        return tuple(apply_test(network, self.test))
+
+    @property
+    def golden_signature(self) -> tuple[int, ...]:
+        self.prepare()
+        return self._golden
+
+    def run_batch(self, points: Sequence[Any]) -> list[Injection]:
+        out: list[Injection] = []
+        for fault in points:
+            signature = self._signature(fault)
+            outcome = (DETECTED if signature != self._golden
+                       else UNDETECTED)
+            out.append(Injection(point=fault, location=fault.describe(),
+                                 cycle=0, outcome=outcome, detail=signature))
+        return out
+
+
+# ----------------------------------------------------------------------
+# laser fault injection
+# ----------------------------------------------------------------------
+class LaserFiBackend:
+    """Laser-shot campaigns on a register floorplan.
+
+    Points are ``(index, LaserShot)`` pairs; each shot is evaluated with
+    its own jitter seed derived from ``(seed, index)``, so the same
+    campaign reproduces shot for shot on any executor.  With a
+    ``target`` cell the outcomes are the repeatability split of a
+    targeted attack (``exact_hit`` / ``collateral`` / ``miss``);
+    without one they classify the upset multiplicity (``single_bit`` /
+    ``multi_bit`` / ``no_flip``) — the shot-grid sensitivity-map view.
+    The flipped cell list rides in ``detail``.
+    """
+
+    name = "laser-fi"
+    fault_model = "laser"
+
+    def __init__(self, floorplan: Any, shots: Sequence[Any],
+                 target: str | None = None, seed: int = 0,
+                 jitter_um: float = 0.15) -> None:
+        self.floorplan = floorplan
+        self.shots = list(shots)
+        self.target = target
+        self.seed = seed
+        self.jitter_um = jitter_um
+        self.circuit_name = (f"floorplan-{floorplan.technology}"
+                             f"[{len(floorplan.cells)} cells]")
+        self.workload = (f"laser[{len(self.shots)} shots"
+                         + (f", target {target}]" if target else "]"))
+
+    def enumerate_points(self) -> Sequence[tuple[int, Any]]:
+        return list(enumerate(self.shots))
+
+    def prepare(self) -> None:  # shots are self-contained
+        return None
+
+    def run_batch(self, points: Sequence[tuple[int, Any]]) -> list[Injection]:
+        from ..security.laser import fire  # lazy: keeps worker imports lean
+
+        out: list[Injection] = []
+        for index, shot in points:
+            outcome_obj = fire(self.floorplan, shot,
+                               jitter_um=self.jitter_um,
+                               seed=self.seed * 100_003 + index)
+            flipped = outcome_obj.flipped
+            if self.target is not None:
+                if not flipped or self.target not in flipped:
+                    outcome = "miss"
+                elif outcome_obj.single_bit:
+                    outcome = "exact_hit"
+                else:
+                    outcome = "collateral"
+            else:
+                if not flipped:
+                    outcome = "no_flip"
+                else:
+                    outcome = "single_bit" if outcome_obj.single_bit \
+                        else "multi_bit"
+            out.append(Injection(
+                point=(index, shot),
+                location=f"({shot.x_um:.2f},{shot.y_um:.2f})um",
+                cycle=index, outcome=outcome, detail=list(flipped)))
+        return out
+
+
+# ----------------------------------------------------------------------
+# side-channel trace collection
+# ----------------------------------------------------------------------
+class ScaTraceBackend:
+    """Power-trace collection campaigns over an instrumented cipher.
+
+    Points are ``(index, group, plaintext)`` triples; each encryption
+    runs on an independent per-trace cipher obtained via the optional
+    ``cipher.fork(seed)`` protocol (masked implementations draw a fresh
+    mask stream per trace; stateless ciphers may return ``self``), so
+    batches are pure and trace values are identical on every executor.
+    ``group`` labels the TVLA population (``fixed`` / ``random``) or
+    plain ``collected`` traces; the ``(cycles, power)`` observables ride
+    in ``detail`` for CPA/TVLA to consume.
+    """
+
+    name = "sca-trace"
+    fault_model = "side-channel"
+
+    def __init__(self, cipher: Any, points: Sequence[tuple[int, str, bytes]],
+                 seed: int = 0) -> None:
+        self.cipher = cipher
+        self.points = list(points)
+        self.seed = seed
+        self.circuit_name = type(cipher).__name__
+        self.workload = f"sca[{len(self.points)} traces]"
+
+    def enumerate_points(self) -> Sequence[tuple[int, str, bytes]]:
+        return self.points
+
+    def prepare(self) -> None:  # ciphers carry their own key schedule
+        return None
+
+    def run_batch(self,
+                  points: Sequence[tuple[int, str, bytes]]) -> list[Injection]:
+        out: list[Injection] = []
+        for index, group, plaintext in points:
+            fork = getattr(self.cipher, "fork", None)
+            cipher = (fork(point_seed(self.seed, index))
+                      if fork is not None else self.cipher)
+            _ct, trace = cipher.encrypt(plaintext)
+            out.append(Injection(
+                point=(index, group, plaintext), location=f"trace{index}",
+                cycle=index, outcome=group,
+                detail=(trace.cycles, list(trace.power))))
+        return out
+
+
+# ----------------------------------------------------------------------
+# GPGPU SEU sweeps
+# ----------------------------------------------------------------------
+class GpgpuSeuBackend:
+    """Pipeline-register SEUs on a SIMT kernel ([25]/[40] campaigns).
+
+    Points are ``(index, PipeRegFault)`` pairs; each run boots a fresh
+    :class:`repro.gpgpu.simt.SimtCore`, injects one transient and
+    compares the output region against the golden run (``masked`` /
+    ``sdc``).  The golden outputs are rebuilt per worker in
+    ``prepare()`` and never shipped.
+    """
+
+    name = "gpgpu-seu"
+    fault_model = "seu"
+
+    def __init__(self, kernel: Sequence[Any], inputs: Sequence[int],
+                 faults: Sequence[Any], label: str = "kernel",
+                 n_warps: int = 2, warp_size: int = 8) -> None:
+        self.kernel = list(kernel)
+        self.inputs = list(inputs)
+        self.faults = list(faults)
+        self.n_warps = n_warps
+        self.warp_size = warp_size
+        self.circuit_name = f"simt-{label}"
+        self.workload = f"gpgpu-seu[{len(self.faults)} transients]"
+        self._golden: list[int] | None = None
+        self._golden_issues: int = 0
+
+    def enumerate_points(self) -> Sequence[tuple[int, Any]]:
+        return list(enumerate(self.faults))
+
+    def prepare(self) -> None:
+        if self._golden is None:  # idempotent: re-run per worker process
+            self._golden, self._golden_issues = self._run([])
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_golden"] = None  # workers re-run the golden kernel
+        state["_golden_issues"] = 0
+        return state
+
+    def _run(self, faults: list[Any]) -> tuple[list[int], int]:
+        from ..gpgpu.apps import _run
+
+        return _run(self.kernel, self.inputs, faults,
+                    n_warps=self.n_warps, warp_size=self.warp_size)
+
+    @property
+    def golden_issues(self) -> int:
+        self.prepare()
+        return self._golden_issues
+
+    def run_batch(self, points: Sequence[tuple[int, Any]]) -> list[Injection]:
+        out: list[Injection] = []
+        for index, fault in points:
+            observed, _ = self._run([fault])
+            outcome = "masked" if observed == self._golden else "sdc"
+            out.append(Injection(
+                point=(index, fault),
+                location=f"w{fault.warp}.l{fault.lane}.b{fault.bit}",
+                cycle=fault.at_issue, outcome=outcome))
+        return out
+
+
+# ----------------------------------------------------------------------
+# dynamic-slicing FI campaigns (the first point-filter user)
+# ----------------------------------------------------------------------
+class SlicingBackend:
+    """Gate-level (fault, cycle) campaigns with dynamic-slicing skips.
+
+    Points are ``(fault, cycle)`` pairs classified by
+    :func:`repro.safety.slicing._simulate_injection` against the golden
+    trace.  With ``use_filter=True`` the two slicing skip rules run in
+    the engine's point-filter stage: *no structural path* (the static
+    fan-out cone reaches no observable — masked for every cycle) and
+    *no activation* (the golden value at the fault site already equals
+    the forced value at that cycle — machines identical, masked).  Both
+    are provably lossless, so filtered campaigns classify byte-identical
+    to unfiltered ones while skipping most of the simulation cost.
+    """
+
+    name = "slicing"
+    fault_model = "stuck-at"
+
+    def __init__(self, circuit: Circuit, faults: Sequence[StuckAtFault],
+                 stimuli: Sequence[Mapping[str, int]],
+                 cycles: Sequence[int] | None = None,
+                 use_filter: bool = True) -> None:
+        self.circuit = circuit
+        self.circuit_name = circuit.name
+        self.faults = list(faults)
+        self.stimuli = list(stimuli)
+        self.cycles = list(cycles if cycles is not None
+                           else range(len(self.stimuli)))
+        self.use_filter = use_filter
+        self.workload = (f"slicing[{len(self.stimuli)} cycles, "
+                         f"{'sliced' if use_filter else 'naive'}]")
+        self._golden: tuple[list, list] | None = None
+
+    def enumerate_points(self) -> Sequence[tuple[StuckAtFault, int]]:
+        return [(fault, cyc) for fault in self.faults for cyc in self.cycles]
+
+    def prepare(self) -> None:
+        if self._golden is None:  # idempotent: re-run per worker process
+            from ..safety.slicing import _golden_states
+
+            self._golden = _golden_states(self.circuit, self.stimuli)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_golden"] = None  # workers re-run the golden pass
+        return state
+
+    def filter_points(self, points: Sequence[tuple[StuckAtFault, int]]
+                      ) -> tuple[list, list[Injection]]:
+        """The slicing skip rules, engine-side (runs after prepare())."""
+        if not self.use_filter:
+            return list(points), []
+        _states, values = self._golden
+        observables = set(self.circuit.outputs)
+        reach_cache: dict[str, bool] = {}
+
+        def reaches_out(net: str) -> bool:
+            if net not in reach_cache:
+                cone = fanout_cone(self.circuit, [net], through_flops=True)
+                reach_cache[net] = bool(cone & observables)
+            return reach_cache[net]
+
+        kept: list[tuple[StuckAtFault, int]] = []
+        skipped: list[Injection] = []
+        for fault, cyc in points:
+            line = fault.line
+            if not reaches_out(line.net):
+                skipped.append(Injection(
+                    point=(fault, cyc), location=fault.describe(), cycle=cyc,
+                    outcome="masked", detail=SKIP_NO_PATH))
+            elif (values[cyc].get(line.net, 0) & 1) == fault.value:
+                skipped.append(Injection(
+                    point=(fault, cyc), location=fault.describe(), cycle=cyc,
+                    outcome="masked", detail=SKIP_NO_ACTIVATION))
+            else:
+                kept.append((fault, cyc))
+        return kept, skipped
+
+    def run_batch(self, points: Sequence[tuple[StuckAtFault, int]]
+                  ) -> list[Injection]:
+        from ..safety.slicing import _simulate_injection
+
+        states, values = self._golden
+        out: list[Injection] = []
+        for fault, cyc in points:
+            cls = _simulate_injection(self.circuit, fault, cyc, self.stimuli,
+                                      values, states)
+            out.append(Injection(point=(fault, cyc),
+                                 location=fault.describe(), cycle=cyc,
+                                 outcome=cls))
+        return out

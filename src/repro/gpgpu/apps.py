@@ -13,7 +13,9 @@ provided:
 The campaign injects pipeline-register transients at random issue slots
 and compares outcome distributions (masked / SDC) between encodings —
 the [40] experiment shape — plus a plain SEU study on vector-add and
-reduction kernels ([25]).
+reduction kernels ([25]).  Both studies execute on the unified campaign
+engine via :class:`repro.engine.GpgpuSeuBackend`, keeping their result
+types while gaining ``db=``/``workers=``/``executor=``.
 """
 
 from __future__ import annotations
@@ -116,30 +118,54 @@ class EncodingStudyResult:
         return self.sdc / self.injections if self.injections else 0.0
 
 
+def _draw_faults(rng: random.Random, n: int, bits: int,
+                 golden_issues: int) -> list[PipeRegFault]:
+    """The fault sequence of the pre-engine loops, draw for draw."""
+    return [PipeRegFault(warp=rng.randrange(2), lane=rng.randrange(8),
+                         bit=rng.randrange(bits),
+                         at_issue=rng.randrange(golden_issues))
+            for _ in range(n)]
+
+
+def _seu_report(kernel: list[SimtIns], inputs: list[int],
+                faults: list[PipeRegFault], label: str,
+                db, workers: int, executor: str):
+    """Run one GPGPU SEU campaign on the unified engine."""
+    from ..engine.core import EngineConfig, run_campaign
+    from ..engine.workloads import GpgpuSeuBackend
+
+    backend = GpgpuSeuBackend(kernel, inputs, faults, label=label)
+    return run_campaign(
+        backend, EngineConfig(batch_size=16, workers=workers,
+                              executor=executor), db=db)
+
+
 def encoding_style_study(
     n_injections: int = 60,
     limit: int = 100,
     seed: int = 0,
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> list[EncodingStudyResult]:
-    """Inject pipeline transients into both encodings of the same kernel."""
+    """Inject pipeline transients into both encodings of the same kernel.
+
+    One engine campaign per encoding; the fault sequences continue a
+    single RNG stream exactly like the pre-engine loop, so the outcome
+    counts are draw-for-draw identical.
+    """
     rng = random.Random(seed)
     inputs = [rng.randrange(90) for _ in range(128)]
     results = []
     for name, kernel in (("branchy", saturating_add_branchy(limit)),
                          ("predicated", saturating_add_predicated(limit))):
-        golden, golden_issues = _run(kernel, inputs, [])
-        masked = sdc = 0
-        for k in range(n_injections):
-            fault = PipeRegFault(
-                warp=rng.randrange(2), lane=rng.randrange(8),
-                bit=rng.randrange(16), at_issue=rng.randrange(golden_issues))
-            observed, _ = _run(kernel, inputs, [fault])
-            if observed == golden:
-                masked += 1
-            else:
-                sdc += 1
-        results.append(EncodingStudyResult(name, golden_issues, masked, sdc,
-                                           n_injections))
+        _golden, golden_issues = _run(kernel, inputs, [])
+        faults = _draw_faults(rng, n_injections, 16, golden_issues)
+        report = _seu_report(kernel, inputs, faults, name, db, workers,
+                             executor)
+        results.append(EncodingStudyResult(
+            name, golden_issues, masked=report.count("masked"),
+            sdc=report.count("sdc"), injections=n_injections))
     return results
 
 
@@ -147,20 +173,22 @@ def seu_campaign_on_kernel(
     kernel: list[SimtIns],
     n_injections: int = 80,
     seed: int = 0,
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> dict[str, float]:
-    """Random pipeline-register SEUs on one kernel: outcome rates ([25])."""
+    """Random pipeline-register SEUs on one kernel: outcome rates ([25]).
+
+    Runs on the unified campaign engine (``db``/``workers``/``executor``
+    passthrough); inputs and fault sequence match the pre-port loop, so
+    the rates are injection-for-injection identical.
+    """
     rng = random.Random(seed)
     inputs = [rng.randrange(256) for _ in range(128)]
-    golden, golden_issues = _run(kernel, inputs, [])
-    masked = sdc = 0
-    for _ in range(n_injections):
-        fault = PipeRegFault(
-            warp=rng.randrange(2), lane=rng.randrange(8),
-            bit=rng.randrange(32), at_issue=rng.randrange(golden_issues))
-        observed, _ = _run(kernel, inputs, [fault])
-        if observed == golden:
-            masked += 1
-        else:
-            sdc += 1
-    return {"masked": masked / n_injections, "sdc": sdc / n_injections,
+    _golden, golden_issues = _run(kernel, inputs, [])
+    faults = _draw_faults(rng, n_injections, 32, golden_issues)
+    report = _seu_report(kernel, inputs, faults, "kernel", db, workers,
+                         executor)
+    return {"masked": report.count("masked") / n_injections,
+            "sdc": report.count("sdc") / n_injections,
             "issue_slots": float(golden_issues)}

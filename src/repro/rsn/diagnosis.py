@@ -6,6 +6,12 @@ quality metric is *resolution*: the average candidate-set size over all
 faults (1.0 = perfect diagnosis).  [45] generates dedicated sequences to
 shrink that set; ``diagnostic_test`` here augments a base test with
 per-SIB discriminating vectors until resolution stops improving.
+
+Signature campaigns execute on the unified engine
+(:class:`repro.engine.RsnDiagnosisBackend`): every facade keeps its
+result type but gains ``db=``/``workers=``/``executor=``, and
+``signature_campaign`` additionally returns the engine's
+:class:`~repro.engine.CampaignReport`.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from typing import Callable, Sequence
 
 from .network import RSN
 from .retarget import build_vector
-from .test_gen import RsnTest, Step, apply_test, flush_pattern
+from .test_gen import RsnTest, Step, flush_pattern
 
 
 @dataclass
@@ -49,22 +55,50 @@ class DiagnosisResult:
         return detectable / len(self.signatures)
 
 
+def signature_campaign(
+    factory: Callable[[], RSN],
+    faults: Sequence[object],
+    test: RsnTest,
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
+):
+    """Run the per-fault signature campaign on the unified engine.
+
+    Returns ``(DiagnosisResult, CampaignReport)`` — the signature table
+    every diagnosis facade consumes, plus the engine's campaign report
+    (outcome counts, executor, throughput).  ``factory`` must be
+    picklable (module-level function or ``functools.partial``) for the
+    process executor; lambdas fall back to threads with a logged reason.
+    """
+    from ..engine.core import EngineConfig, run_campaign
+    from ..engine.workloads import DETECTED, RsnDiagnosisBackend
+
+    backend = RsnDiagnosisBackend(factory, faults, test)
+    report = run_campaign(
+        backend, EngineConfig(batch_size=8, workers=workers,
+                              executor=executor), db=db)
+    result = DiagnosisResult()
+    result.golden_signature = backend.golden_signature
+    for inj in report.injections:
+        result.signatures[inj.point] = inj.detail
+        assert (inj.outcome == DETECTED) == \
+            (inj.detail != result.golden_signature)
+    return result, report
+
+
 def build_signature_table(
     factory: Callable[[], RSN],
     faults: Sequence[object],
     test: RsnTest,
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> DiagnosisResult:
     """Simulate every fault under ``test`` and record its TDO signature."""
-    golden = factory()
-    golden.reset()
-    result = DiagnosisResult()
-    result.golden_signature = tuple(apply_test(golden, test))
-    for fault in faults:
-        faulty = factory()
-        faulty.reset()
-        faulty.inject(fault)
-        result.signatures[fault] = tuple(apply_test(faulty, test))
-    return result
+    table, _report = signature_campaign(factory, faults, test, db=db,
+                                        workers=workers, executor=executor)
+    return table
 
 
 def diagnose(
@@ -72,9 +106,13 @@ def diagnose(
     faults: Sequence[object],
     test: RsnTest,
     observed: Sequence[int],
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> list[object]:
     """Candidate faults for an observed response under ``test``."""
-    table = build_signature_table(factory, faults, test)
+    table = build_signature_table(factory, faults, test, db=db,
+                                  workers=workers, executor=executor)
     return table.candidates(observed)
 
 
@@ -83,15 +121,20 @@ def diagnostic_test(
     faults: Sequence[object],
     base: RsnTest,
     max_extra_rounds: int = 8,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> tuple[RsnTest, DiagnosisResult]:
     """Extend ``base`` with discriminating vectors until resolution stalls.
 
     Each round appends, for the most ambiguous candidate class, a
     configuration that toggles one SIB appearing in those faults plus a
-    flush — the classic divide-and-conquer refinement of [45].
+    flush — the classic divide-and-conquer refinement of [45].  Every
+    round's signature campaign runs on the unified engine with the given
+    ``workers``/``executor``.
     """
     test = RsnTest("diagnostic", [Step(list(s.bits), s.update) for s in base.steps])
-    table = build_signature_table(factory, faults, test)
+    table = build_signature_table(factory, faults, test,
+                                  workers=workers, executor=executor)
     best = table.resolution()
     from .network import Sib  # local import to avoid cycle at module load
 
@@ -116,7 +159,9 @@ def diagnostic_test(
         extended.add_config(toggle)
         probe.csu(toggle)
         extended.add_flush(flush_pattern(probe.path_length()))
-        candidate_table = build_signature_table(factory, faults, extended)
+        candidate_table = build_signature_table(factory, faults, extended,
+                                                workers=workers,
+                                                executor=executor)
         resolution = candidate_table.resolution()
         if resolution < best:
             best = resolution

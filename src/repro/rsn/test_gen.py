@@ -93,11 +93,26 @@ def detects(golden_factory, fault, test: RsnTest) -> bool:
     return observed != expected
 
 
-def coverage(golden_factory, faults: Sequence[object], test: RsnTest) -> float:
-    """Fraction of faults the test detects."""
+def coverage(golden_factory, faults: Sequence[object], test: RsnTest,
+             db=None, workers: int = 1, executor: str = "auto") -> float:
+    """Fraction of faults the test detects.
+
+    Runs as a per-fault signature campaign on the unified engine
+    (:class:`repro.engine.RsnDiagnosisBackend`): one golden run, one
+    faulty run per fault, outcomes accounted as detected/undetected —
+    identical to the old per-fault loop, with ``db``/``workers``/
+    ``executor`` passthrough.
+    """
     if not faults:
         return 1.0
-    return sum(1 for f in faults if detects(golden_factory, f, test)) / len(faults)
+    from ..engine.core import EngineConfig, run_campaign
+    from ..engine.workloads import DETECTED, RsnDiagnosisBackend
+
+    backend = RsnDiagnosisBackend(golden_factory, faults, test)
+    report = run_campaign(
+        backend, EngineConfig(batch_size=8, workers=workers,
+                              executor=executor), db=db)
+    return report.rate(DETECTED)
 
 
 # ----------------------------------------------------------------------
@@ -219,13 +234,17 @@ class StrategyComparison:
         return 1 - self.compact_cycles / self.exhaustive_cycles
 
 
-def compare_strategies(factory, faults: Sequence[object]) -> StrategyComparison:
+def compare_strategies(factory, faults: Sequence[object],
+                       workers: int = 1,
+                       executor: str = "auto") -> StrategyComparison:
     """Generate both tests and measure coverage and shift-cycle cost."""
     exhaustive = exhaustive_test(factory)
     compact = compact_test(factory)
     return StrategyComparison(
         exhaustive_cycles=exhaustive.shift_cycles,
-        exhaustive_coverage=coverage(factory, faults, exhaustive),
+        exhaustive_coverage=coverage(factory, faults, exhaustive,
+                                     workers=workers, executor=executor),
         compact_cycles=compact.shift_cycles,
-        compact_coverage=coverage(factory, faults, compact),
+        compact_coverage=coverage(factory, faults, compact,
+                                  workers=workers, executor=executor),
     )

@@ -9,6 +9,13 @@ the testbench ends.  Dynamic slicing computes both conditions from the
 injections.  [51] reports campaign-time reductions of this flavour; the
 acceleration must be *lossless* (identical classifications), which
 ``verify_equivalence`` checks and the tests enforce.
+
+The skip rules are the engine's **point-filter stage**
+(:class:`repro.engine.SlicingBackend.filter_points`): both campaign
+facades delegate to :func:`repro.engine.core.run_campaign`, skipped
+injections are first-class engine outcomes, and every counter on
+:class:`CampaignOutcome` derives from the engine's own accounting — the
+skip fraction can no longer drift from the classification table.
 """
 
 from __future__ import annotations
@@ -16,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from ..circuit.levelize import fanout_cone
 from ..circuit.netlist import Circuit
 from ..faults.models import StuckAtFault
 from ..sim.fault_sim import faulty_values
@@ -25,7 +31,12 @@ from ..sim.logic import simulate
 
 @dataclass
 class CampaignOutcome:
-    """Classification of every (fault, cycle) injection plus cost metrics."""
+    """Classification of every (fault, cycle) injection plus cost metrics.
+
+    ``simulated`` and the per-rule skip counters are populated from the
+    engine report's executed/filtered split (one source of truth), so
+    ``total`` always equals ``len(classifications)``.
+    """
 
     classifications: dict[tuple[StuckAtFault, int], str] = field(default_factory=dict)
     simulated: int = 0
@@ -47,6 +58,27 @@ class CampaignOutcome:
         naive = self.total * per_sim_cost
         sliced = self.simulated * per_sim_cost + self.total * per_slice_cost
         return naive / sliced if sliced else 1.0
+
+    @classmethod
+    def from_report(cls, report) -> "CampaignOutcome":
+        """Build the outcome from an engine report: classifications from
+        executed + filtered injections, counters from the engine's
+        filter accounting."""
+        from ..engine.workloads import SKIP_NO_ACTIVATION, SKIP_NO_PATH
+
+        outcome = cls(simulated=report.executed)
+        for inj in report.injections:
+            outcome.classifications[inj.point] = inj.outcome
+        for inj in report.skipped:
+            outcome.classifications[inj.point] = inj.outcome
+            if inj.detail == SKIP_NO_PATH:
+                outcome.skipped_no_path += 1
+            elif inj.detail == SKIP_NO_ACTIVATION:
+                outcome.skipped_no_activation += 1
+            else:  # a rule this result type cannot attribute
+                raise ValueError(f"unknown skip rule {inj.detail!r}")
+        assert outcome.total == report.total == len(outcome.classifications)
+        return outcome
 
 
 def _golden_states(circuit: Circuit, stimuli: Sequence[Mapping[str, int]]):
@@ -99,23 +131,44 @@ def _simulate_injection(
     return "latent" if state != final_golden else "masked"
 
 
+def _run_slicing_campaign(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    stimuli: Sequence[Mapping[str, int]],
+    cycles: Sequence[int] | None,
+    use_filter: bool,
+    db,
+    workers: int,
+    executor: str,
+) -> CampaignOutcome:
+    from ..engine.core import EngineConfig, run_campaign
+    from ..engine.workloads import SlicingBackend
+
+    backend = SlicingBackend(circuit, faults, stimuli, cycles,
+                             use_filter=use_filter)
+    report = run_campaign(
+        backend, EngineConfig(batch_size=32, workers=workers,
+                              executor=executor), db=db)
+    return CampaignOutcome.from_report(report)
+
+
 def run_naive_campaign(
     circuit: Circuit,
     faults: Sequence[StuckAtFault],
     stimuli: Sequence[Mapping[str, int]],
     cycles: Sequence[int] | None = None,
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> CampaignOutcome:
-    """Simulate every (fault, cycle) pair — the reference cost."""
-    cycles = list(cycles if cycles is not None else range(len(stimuli)))
-    golden_states, golden_values = _golden_states(circuit, stimuli)
-    outcome = CampaignOutcome()
-    for fault in faults:
-        for cyc in cycles:
-            cls = _simulate_injection(circuit, fault, cyc, stimuli,
-                                      golden_values, golden_states)
-            outcome.classifications[(fault, cyc)] = cls
-            outcome.simulated += 1
-    return outcome
+    """Simulate every (fault, cycle) pair — the reference cost.
+
+    Runs on the unified engine with the point filter disabled
+    (``db``/``workers``/``executor`` passthrough).
+    """
+    return _run_slicing_campaign(circuit, faults, stimuli, cycles,
+                                 use_filter=False, db=db, workers=workers,
+                                 executor=executor)
 
 
 def run_sliced_campaign(
@@ -123,10 +176,15 @@ def run_sliced_campaign(
     faults: Sequence[StuckAtFault],
     stimuli: Sequence[Mapping[str, int]],
     cycles: Sequence[int] | None = None,
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> CampaignOutcome:
     """The accelerated campaign: skip provably-masked injections.
 
-    Skip rules (both derived from the golden pass only):
+    Skip rules (both derived from the golden pass only, implemented as
+    the engine point-filter stage of
+    :class:`repro.engine.SlicingBackend`):
 
     1. *No activation*: the golden value at the fault line equals the
        forced value at the injection cycle → the machines are identical →
@@ -134,39 +192,15 @@ def run_sliced_campaign(
     2. *No structural path*: the static fan-out cone (through flops)
        contains no observable — masked forever.  (A dynamic refinement
        triggers per-cycle; the static check already covers dead logic.)
+
+    Classifications are byte-identical to :func:`run_naive_campaign`
+    (``verify_equivalence`` holds by construction of the lossless
+    rules); ``simulated``/``skipped_*`` come from the engine's
+    executed/filtered accounting.
     """
-    cycles = list(cycles if cycles is not None else range(len(stimuli)))
-    golden_states, golden_values = _golden_states(circuit, stimuli)
-    observables = set(circuit.outputs)
-    outcome = CampaignOutcome()
-
-    # per-fault static reachability, computed once
-    reach_cache: dict[str, bool] = {}
-
-    def reaches_out(net: str) -> bool:
-        if net not in reach_cache:
-            cone = fanout_cone(circuit, [net], through_flops=True)
-            reach_cache[net] = bool(cone & observables)
-        return reach_cache[net]
-
-    for fault in faults:
-        line = fault.line
-        if not reaches_out(line.net):
-            for cyc in cycles:
-                outcome.classifications[(fault, cyc)] = "masked"
-                outcome.skipped_no_path += 1
-            continue
-        for cyc in cycles:
-            good_at_site = golden_values[cyc].get(line.net, 0) & 1
-            if good_at_site == fault.value:
-                outcome.classifications[(fault, cyc)] = "masked"
-                outcome.skipped_no_activation += 1
-                continue
-            cls = _simulate_injection(circuit, fault, cyc, stimuli,
-                                      golden_values, golden_states)
-            outcome.classifications[(fault, cyc)] = cls
-            outcome.simulated += 1
-    return outcome
+    return _run_slicing_campaign(circuit, faults, stimuli, cycles,
+                                 use_filter=True, db=db, workers=workers,
+                                 executor=executor)
 
 
 def verify_equivalence(naive: CampaignOutcome, sliced: CampaignOutcome) -> bool:

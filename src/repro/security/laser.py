@@ -131,33 +131,118 @@ class AttackStats:
         return self.exact_hits / self.attempts if self.attempts else 0.0
 
 
+def attack_campaign(
+    floorplan: Floorplan,
+    target: str,
+    attempts: int = 100,
+    energy: float = 1.5,
+    seed: int = 0,
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
+):
+    """Targeted shot campaign on the unified engine.
+
+    Returns ``(AttackStats, CampaignReport)``: the same per-shot
+    outcomes as the old serial loop (each shot keeps its
+    ``seed * 100_003 + i`` jitter stream, so the counts are
+    shot-for-shot identical) plus the engine's campaign report.
+    """
+    from ..engine.core import EngineConfig, run_campaign
+    from ..engine.workloads import LaserFiBackend
+
+    cell = next((c for c in floorplan.cells if c.name == target), None)
+    if cell is None:
+        raise ValueError(f"no cell named {target!r}")
+    shots = [LaserShot(cell.x_um, cell.y_um, MIN_SPOT_UM, energy)
+             for _ in range(attempts)]
+    backend = LaserFiBackend(floorplan, shots, target=target, seed=seed)
+    report = run_campaign(
+        backend, EngineConfig(batch_size=16, workers=workers,
+                              executor=executor), db=db)
+    stats = AttackStats(
+        floorplan.technology, attempts,
+        exact_hits=report.count("exact_hit"),
+        collateral=report.count("collateral"),
+        misses=report.count("miss"))
+    return stats, report
+
+
 def targeted_attack(
     floorplan: Floorplan,
     target: str,
     attempts: int = 100,
     energy: float = 1.5,
     seed: int = 0,
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> AttackStats:
     """Repeatedly aim at one register bit; measure single-bit success.
 
     Reproduces the [18] claim structure: at 250 nm the pitch exceeds the
     spot, so hits are single-bit and repeatable; at smaller nodes the
-    spot covers several cells and collateral flips dominate.
+    spot covers several cells and collateral flips dominate.  Runs on
+    the unified campaign engine (``db``/``workers``/``executor``
+    passthrough) with shot-for-shot identical outcomes to the pre-port
+    serial loop.
     """
-    cell = next((c for c in floorplan.cells if c.name == target), None)
-    if cell is None:
-        raise ValueError(f"no cell named {target!r}")
-    stats = AttackStats(floorplan.technology, attempts, 0, 0, 0)
-    for i in range(attempts):
-        shot = LaserShot(cell.x_um, cell.y_um, MIN_SPOT_UM, energy)
-        outcome = fire(floorplan, shot, seed=seed * 100_003 + i)
-        if not outcome.flipped or target not in outcome.flipped:
-            stats.misses += 1
-        elif outcome.single_bit:
-            stats.exact_hits += 1
-        else:
-            stats.collateral += 1
+    stats, _report = attack_campaign(floorplan, target, attempts, energy,
+                                     seed, db=db, workers=workers,
+                                     executor=executor)
     return stats
+
+
+def grid_shots(floorplan: Floorplan, energy: float = 1.5,
+               step_um: float | None = None,
+               spot_diameter_um: float = MIN_SPOT_UM) -> list[LaserShot]:
+    """A raster of shots covering the floorplan's bounding box — the
+    stage sweep a real bench performs when mapping sensitive regions."""
+    if not floorplan.cells:
+        return []
+    step = step_um if step_um is not None else floorplan.pitch
+    max_x = max(c.x_um for c in floorplan.cells)
+    max_y = max(c.y_um for c in floorplan.cells)
+    shots = []
+    y = 0.0
+    while y <= max_y + 1e-9:
+        x = 0.0
+        while x <= max_x + 1e-9:
+            shots.append(LaserShot(x, y, spot_diameter_um, energy))
+            x += step
+        y += step
+    return shots
+
+
+def sensitivity_map(
+    floorplan: Floorplan,
+    energy: float = 1.5,
+    step_um: float | None = None,
+    seed: int = 0,
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
+):
+    """Shot-grid campaign over the floorplan: upset class per position.
+
+    Returns ``(dict[(x, y)] -> flipped cell list, CampaignReport)`` —
+    the laser-FI sensitivity map as an engine campaign whose outcome
+    histogram splits the grid into no-flip / single-bit / multi-bit
+    regions.
+    """
+    from ..engine.core import EngineConfig, run_campaign
+    from ..engine.workloads import LaserFiBackend
+
+    shots = grid_shots(floorplan, energy, step_um)
+    backend = LaserFiBackend(floorplan, shots, seed=seed)
+    report = run_campaign(
+        backend, EngineConfig(batch_size=32, workers=workers,
+                              executor=executor), db=db)
+    grid = {}
+    for inj in report.injections:
+        _index, shot = inj.point
+        grid[(shot.x_um, shot.y_um)] = inj.detail
+    return grid, report
 
 
 def unlock_register_attack(
@@ -166,8 +251,12 @@ def unlock_register_attack(
     unlock_bit: int = 7,
     attempts: int = 100,
     seed: int = 0,
+    db=None,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> AttackStats:
     """The paper's scenario: flip the register bit gating sensitive data."""
     names = [f"sec{i}" for i in range(n_registers)]
     plan = Floorplan.grid(technology, names)
-    return targeted_attack(plan, f"sec{unlock_bit}", attempts, seed=seed)
+    return targeted_attack(plan, f"sec{unlock_bit}", attempts, seed=seed,
+                           db=db, workers=workers, executor=executor)

@@ -12,6 +12,14 @@ Implements the standard toolbox against the instrumented AES cores:
 Against :class:`~repro.crypto.aes.AesLeaky` CPA recovers the key with
 tens of traces; against :class:`AesConstantTime` (masked) both TVLA and
 CPA stay silent — the countermeasure story of the RESCUE security line.
+
+Trace acquisition runs on the unified campaign engine
+(:class:`repro.engine.ScaTraceBackend`): CPA and TVLA consume
+engine-produced traces, ``collect_traces``/``tvla`` gain
+``db=``/``workers=``/``executor=``, and ``trace_campaign`` also returns
+the engine's :class:`~repro.engine.CampaignReport`.  Masked ciphers
+stay sound under parallel collection via the ``cipher.fork(seed)``
+protocol — each trace gets an independent, point-seeded mask stream.
 """
 
 from __future__ import annotations
@@ -39,16 +47,52 @@ class TraceSet:
         return len(self.plaintexts)
 
 
-def collect_traces(cipher, n_traces: int, seed: int = 0) -> TraceSet:
-    """Encrypt random plaintexts, recording the power samples."""
+def _random_plaintexts(n: int, seed: int) -> list[bytes]:
     rng = random.Random(seed)
-    plaintexts, rows = [], []
-    for _ in range(n_traces):
-        pt = bytes(rng.randrange(256) for _ in range(16))
-        _ct, trace = cipher.encrypt(pt)
-        plaintexts.append(pt)
-        rows.append(trace.power)
-    return TraceSet(plaintexts, np.asarray(rows, dtype=float))
+    return [bytes(rng.randrange(256) for _ in range(16)) for _ in range(n)]
+
+
+def _run_trace_campaign(cipher, points, seed, db, workers, executor,
+                        batch_size: int = 16):
+    """Engine execution shared by collection and TVLA campaigns."""
+    from ..engine.core import EngineConfig, run_campaign
+    from ..engine.workloads import ScaTraceBackend
+
+    backend = ScaTraceBackend(cipher, points, seed=seed)
+    return run_campaign(
+        backend, EngineConfig(batch_size=batch_size, workers=workers,
+                              executor=executor), db=db)
+
+
+def trace_campaign(cipher, n_traces: int, seed: int = 0, db=None,
+                   workers: int = 1, executor: str = "auto"):
+    """Collect random-plaintext traces on the unified engine.
+
+    Returns ``(TraceSet, CampaignReport)``; the trace set is what
+    :func:`cpa_attack`/:func:`recover_key` consume.
+    """
+    points = [(i, "collected", pt)
+              for i, pt in enumerate(_random_plaintexts(n_traces, seed))]
+    report = _run_trace_campaign(cipher, points, seed, db, workers, executor)
+    rows = [None] * len(report.injections)
+    plaintexts: list[bytes] = [b""] * len(report.injections)
+    for inj in report.injections:
+        index, _group, pt = inj.point
+        plaintexts[index] = pt
+        rows[index] = inj.detail[1]
+    return (TraceSet(plaintexts, np.asarray(rows, dtype=float)), report)
+
+
+def collect_traces(cipher, n_traces: int, seed: int = 0, db=None,
+                   workers: int = 1, executor: str = "auto") -> TraceSet:
+    """Encrypt random plaintexts, recording the power samples.
+
+    Runs on the unified campaign engine (``db``/``workers``/``executor``
+    passthrough); plaintext sequence is identical to the pre-port loop.
+    """
+    traces, _report = trace_campaign(cipher, n_traces, seed, db=db,
+                                     workers=workers, executor=executor)
+    return traces
 
 
 def cpa_attack(traces: TraceSet, byte_index: int) -> tuple[int, np.ndarray]:
@@ -109,17 +153,37 @@ class TvlaReport:
         return self.max_t > self.threshold
 
 
-def tvla(cipher, n_traces: int = 200, seed: int = 0) -> TvlaReport:
-    """Fixed-vs-random t-test over every power sample."""
-    rng = random.Random(seed)
+def tvla_campaign(cipher, n_traces: int = 200, seed: int = 0, db=None,
+                  workers: int = 1, executor: str = "auto"):
+    """Fixed-vs-random leakage assessment on the unified engine.
+
+    Points interleave the fixed and random populations exactly like the
+    bench-style serial loop; the campaign's outcome histogram is the
+    group split.  Returns ``(TvlaReport, CampaignReport)``.
+    """
     fixed_pt = bytes(range(16))
-    fixed_rows, random_rows = [], []
-    for _ in range(n_traces):
-        _ct, tr = cipher.encrypt(fixed_pt)
-        fixed_rows.append(tr.power)
-        pt = bytes(rng.randrange(256) for _ in range(16))
-        _ct, tr = cipher.encrypt(pt)
-        random_rows.append(tr.power)
+    randoms = _random_plaintexts(n_traces, seed)
+    points = []
+    for i in range(n_traces):
+        points.append((2 * i, "fixed", fixed_pt))
+        points.append((2 * i + 1, "random", randoms[i]))
+    report = _run_trace_campaign(cipher, points, seed, db, workers, executor)
+    fixed_rows = [inj.detail[1] for inj in report.injections
+                  if inj.point[1] == "fixed"]
+    random_rows = [inj.detail[1] for inj in report.injections
+                   if inj.point[1] == "random"]
+    return _tvla_from_rows(fixed_rows, random_rows), report
+
+
+def tvla(cipher, n_traces: int = 200, seed: int = 0, db=None,
+         workers: int = 1, executor: str = "auto") -> TvlaReport:
+    """Fixed-vs-random t-test over every power sample (engine-backed)."""
+    tvla_report, _report = tvla_campaign(cipher, n_traces, seed, db=db,
+                                         workers=workers, executor=executor)
+    return tvla_report
+
+
+def _tvla_from_rows(fixed_rows: list, random_rows: list) -> TvlaReport:
     fixed = np.asarray(fixed_rows, dtype=float)
     rnd = np.asarray(random_rows, dtype=float)
     t_values = []
