@@ -21,6 +21,14 @@ Four measurements:
 5. **RSN-diagnosis and GPGPU-SEU scaling**: the two workload families
    ported in the full-port PR, on abridged executor grids — their rows
    gate outcome identity for the new backends in CI.
+6. **Lane packing**: the SEU and slicing smoke workloads per-point
+   (``lane_width=1``) against the packed path at widths 7 and 64 —
+   outcome identity is required unconditionally, and the packed SEU row
+   carries the >= 3x CI gate (target >= 5x).
+7. **Persistent worker pool**: the same process campaign repeated
+   back-to-back with ``reuse_pool`` off (fresh spawn per campaign, the
+   pre-pool behaviour) and on (module-level pool registry) — identity
+   gated, spawn amortisation reported.
 
 Runs standalone (``python benchmarks/bench_engine_smoke.py``) or under
 pytest; both write ``BENCH_engine.json`` at the repo root.
@@ -223,10 +231,14 @@ def _sweep(make_backend, config_kwargs, grid):
     identical = True
     for executor, workers in grid:
         db = CampaignDb()
+        # reuse_pool off: every process row pays cold worker spawn, so
+        # cells stay comparable across sections (and with earlier PRs);
+        # warm-pool amortisation is measured in the persistent_pool
+        # section, not here
         report = run_campaign(
             make_backend(),
             EngineConfig(workers=workers, executor=executor,
-                         **config_kwargs),
+                         reuse_pool=False, **config_kwargs),
             db=db)
         db.close()
         key = f"{executor}_x{workers}"
@@ -258,7 +270,10 @@ def _seu_scaling(n_cycles=120):
     workload = random_workload(circuit, n_cycles, seed=7)
 
     def make_backend():
-        return SeuBackend(circuit.copy(), workload)
+        # per-point path pinned: these rows measure executor dispatch
+        # against fixed per-injection work (the packed-vs-per-point
+        # comparison lives in the lane_packing section)
+        return SeuBackend(circuit.copy(), workload, lane_width=1)
 
     grid = [("serial", 1), ("thread", 2), ("thread", 4),
             ("process", 1), ("process", 2), ("process", 4)]
@@ -338,6 +353,106 @@ def _gpgpu_seu_scaling(n_injections=240):
     }
 
 
+# ----------------------------------------------------------------------
+# lane packing: per-point vs packed, identity required
+# ----------------------------------------------------------------------
+def _lane_rows(make_backend, widths, config_kwargs):
+    rows = {}
+    reference = None
+    identical = True
+    for width in widths:
+        report = run_campaign(make_backend(width),
+                              EngineConfig(executor="serial",
+                                           **config_kwargs))
+        rows[f"w{width}"] = {
+            "injections": report.total,
+            "elapsed_s": round(report.elapsed_s, 4),
+            "injections_per_s": round(report.injections_per_second, 1),
+        }
+        outcome_rows = [(i.location, i.cycle, i.outcome)
+                        for i in report.injections]
+        if reference is None:
+            reference = outcome_rows
+        elif outcome_rows != reference:
+            identical = False
+    per_point = rows[f"w{widths[0]}"]["elapsed_s"]
+    for row in rows.values():
+        row["speedup_vs_per_point"] = (
+            round(per_point / row["elapsed_s"], 2) if row["elapsed_s"]
+            else float("inf"))
+    return rows, identical
+
+
+def _lane_packing_measurement(n_cycles=120):
+    circuit = load("rand_seq")
+    workload = random_workload(circuit, n_cycles, seed=7)
+    seu_rows, seu_identical = _lane_rows(
+        lambda width: SeuBackend(circuit.copy(), workload, lane_width=width),
+        (1, 7, 64), {"batch_size": 64})
+
+    faults, _ = collapse(circuit)
+    slicing_workload = random_workload(circuit, 30, seed=3)
+    slicing_faults = faults[:40]
+    from repro.engine.workloads import SlicingBackend
+
+    slicing_rows, slicing_identical = _lane_rows(
+        lambda width: SlicingBackend(circuit.copy(), slicing_faults,
+                                     slicing_workload, use_filter=False,
+                                     lane_width=width),
+        (1, 64), {"batch_size": 64})
+    return {
+        "circuit": circuit.name,
+        "seu": {
+            "population": len(circuit.flops) * n_cycles,
+            "grid": seu_rows,
+            "outcome_identical": seu_identical,
+            "packed_speedup": seu_rows["w64"]["speedup_vs_per_point"],
+        },
+        "slicing": {
+            "population": len(slicing_faults) * 30,
+            "grid": slicing_rows,
+            "outcome_identical": slicing_identical,
+            "packed_speedup": slicing_rows["w64"]["speedup_vs_per_point"],
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# persistent pool: fresh spawn per campaign vs reused registry pool
+# ----------------------------------------------------------------------
+def _persistent_pool_measurement(n_campaigns=3, n_cycles=40):
+    from repro.engine import shutdown_pools
+
+    circuit = load("rand_seq")
+    workload = random_workload(circuit, n_cycles, seed=7)
+
+    def sweep(reuse):
+        rows = []
+        start = time.perf_counter()
+        for _ in range(n_campaigns):
+            report = run_campaign(
+                SeuBackend(circuit.copy(), workload, lane_width=1),
+                EngineConfig(batch_size=8, workers=2, executor="process",
+                             reuse_pool=reuse))
+            assert report.executor == "process", report.executor
+            rows.append([(i.location, i.cycle, i.outcome)
+                         for i in report.injections])
+        return time.perf_counter() - start, rows
+
+    shutdown_pools()
+    fresh_s, fresh_rows = sweep(False)
+    reused_s, reused_rows = sweep(True)
+    shutdown_pools()
+    return {
+        "circuit": circuit.name,
+        "n_campaigns": n_campaigns,
+        "fresh_pools_s": round(fresh_s, 4),
+        "reused_pool_s": round(reused_s, 4),
+        "speedup": round(fresh_s / reused_s, 2) if reused_s else float("inf"),
+        "outcome_identical": fresh_rows == reused_rows,
+    }
+
+
 def run_smoke():
     cpus = _host_cpus()
     seu = _seu_scaling()
@@ -354,6 +469,8 @@ def run_smoke():
             "rsn_diagnosis": _rsn_diagnosis_scaling(),
             "gpgpu_seu": _gpgpu_seu_scaling(),
         },
+        "lane_packing": _lane_packing_measurement(),
+        "persistent_pool": _persistent_pool_measurement(),
     }
     if cpus < 2:
         record["note"] = (
@@ -382,6 +499,23 @@ def test_engine_smoke(benchmark):
             rows.append((f"{workload} {key}", f"{row['elapsed_s']:.3f}s",
                          f"{row['injections_per_s']:.0f} inj/s",
                          f"{row['speedup_vs_serial']:.2f}x"))
+    for workload, data in record["lane_packing"].items():
+        if not isinstance(data, dict) or "grid" not in data:
+            continue
+        for key, row in data["grid"].items():
+            rows.append((f"lanes {workload} {key}",
+                         f"{row['elapsed_s']:.3f}s",
+                         f"{row['injections_per_s']:.0f} inj/s",
+                         f"{row['speedup_vs_per_point']:.2f}x"
+                         + ("" if data["outcome_identical"]
+                            else " MISMATCH")))
+    pool = record["persistent_pool"]
+    rows.append(("pool fresh-per-campaign", f"{pool['fresh_pools_s']:.3f}s",
+                 f"{pool['n_campaigns']} campaigns", "1.00x"))
+    rows.append(("pool reused", f"{pool['reused_pool_s']:.3f}s",
+                 f"{pool['n_campaigns']} campaigns",
+                 f"{pool['speedup']:.2f}x"
+                 + ("" if pool["outcome_identical"] else " MISMATCH")))
     print("\n" + format_table(
         ["path", "time", "speed", "scaling"], rows,
         title=f"Engine smoke — {record['host_cpus']} CPU(s)"))

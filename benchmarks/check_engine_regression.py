@@ -7,6 +7,10 @@ when the engine's perf claims regress:
   workload on the engine must keep its outcome-identity row);
 * any executor cell produced non-identical campaign outcomes;
 * the PPSFP fast path lost its >= 2x speedup or its losslessness;
+* lane packing lost outcome identity at any width (unconditional), or
+  the packed SEU path fell below 3x over per-point on the smoke
+  workload (the headline target is >= 5x; 3x is the regression floor);
+* the persistent worker pool changed campaign outcomes vs fresh pools;
 * on a multicore host, the process executor at 4 workers is slower than
   serial on the SEU workload.  The stretch target — >= 2x on hosts with
   >= 4 CPUs — is reported as a warning, not enforced, until a real
@@ -44,6 +48,30 @@ def check(record: dict) -> list[str]:
             f"eval_gate dispatch {dispatch['speedup']}x is a regression "
             "vs the if/elif chain")
 
+    lanes = record.get("lane_packing")
+    if lanes is None:
+        failures.append("lane_packing rows missing from the bench record")
+    else:
+        for workload in ("seu", "slicing"):
+            data = lanes.get(workload)
+            if data is None:
+                failures.append(f"lane_packing {workload} rows missing")
+                continue
+            if not data["outcome_identical"]:
+                failures.append(
+                    f"lane packing is no longer lossless on {workload}")
+        seu_lanes = lanes.get("seu")
+        if seu_lanes and seu_lanes["packed_speedup"] < 3.0:
+            failures.append(
+                f"packed SEU speedup {seu_lanes['packed_speedup']}x fell "
+                "below the 3x floor (target >= 5x)")
+
+    pool = record.get("persistent_pool")
+    if pool is None:
+        failures.append("persistent_pool rows missing from the bench record")
+    elif not pool["outcome_identical"]:
+        failures.append("persistent pool changed campaign outcomes")
+
     scaling = record["executor_scaling"]
     for workload in PORTED_WORKLOADS:
         if workload not in scaling:
@@ -80,8 +108,10 @@ def main(argv: list[str]) -> int:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
     seu = record["executor_scaling"]["seu"]
+    lanes = record["lane_packing"]["seu"]
     print(f"engine perf gate OK (host_cpus={record.get('host_cpus')}, "
-          f"seu process_x4 speedup {seu['process_x4_speedup']}x)")
+          f"seu process_x4 speedup {seu['process_x4_speedup']}x, "
+          f"packed seu {lanes['packed_speedup']}x)")
     return 0
 
 

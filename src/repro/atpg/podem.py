@@ -174,14 +174,19 @@ class Podem:
         frontier = self._d_frontier(st, fault)
         if not frontier:
             return None
-        gate = min(frontier, key=lambda g: min(self.cc0.get(i, 0) + self.cc1.get(i, 0)
-                                               for i in g.inputs))
-        ctrl = _CONTROLLING.get(gate.gtype)
-        for src in gate.inputs:
-            if st.good.get(src, X) is X:
-                if ctrl is not None:
-                    return src, 1 - ctrl
-                return src, 0  # XOR/XNOR: any binary value enables propagation
+        # Walk the whole frontier in cost order: a gate whose side inputs
+        # are all assigned cannot yield an objective, but another frontier
+        # gate still can — returning None on the first (cheapest) gate
+        # would prune branches and break the completeness proof.
+        frontier.sort(key=lambda g: min(self.cc0.get(i, 0) + self.cc1.get(i, 0)
+                                        for i in g.inputs))
+        for gate in frontier:
+            ctrl = _CONTROLLING.get(gate.gtype)
+            for src in gate.inputs:
+                if st.good.get(src, X) is X:
+                    if ctrl is not None:
+                        return src, 1 - ctrl
+                    return src, 0  # XOR/XNOR: any binary value propagates
         return None
 
     def _backtrace(self, net: str, value: int, st: _State) -> tuple[str, int] | None:

@@ -7,8 +7,10 @@ SEU campaigns — plus the dynamic-slicing campaign, which drives the
 engine's point-filter stage — onto a shared chunked/parallel/
 early-stopping runner with streaming CampaignDb persistence.
 Execution strategies (serial / GIL-bound threads / spawn-safe multicore
-processes / auto probing) are pluggable via
-:mod:`repro.engine.executors`.
+processes with a persistent cross-campaign pool / auto probing) are
+pluggable via :mod:`repro.engine.executors`, and sequential fault models
+pack up to :data:`repro.engine.lanes.DEFAULT_LANE_WIDTH` injections into
+one bit-parallel run via :mod:`repro.engine.lanes`.
 """
 
 from .backends import (
@@ -28,12 +30,20 @@ from .core import (
     InjectionBackend,
     run_campaign,
 )
-from .executors import EXECUTOR_CHOICES, ExecutorPlan, chunk_seed, plan_executor
+from .executors import (
+    EXECUTOR_CHOICES,
+    ExecutorPlan,
+    chunk_seed,
+    plan_executor,
+    shutdown_pools,
+)
+from .lanes import DEFAULT_LANE_WIDTH
 
 #: Exports resolved lazily from ``.workloads`` (PEP 562): process-pool
 #: workers unpickling one of the original backends import this package,
 #: and must not pay for the new workload families' module graph.
 _WORKLOAD_EXPORTS = frozenset({
+    "CompositeBackend",
     "GpgpuSeuBackend",
     "LaserFiBackend",
     "RsnDiagnosisBackend",
@@ -56,6 +66,8 @@ def __getattr__(name: str):
 
 __all__ = [
     "CampaignReport",
+    "CompositeBackend",
+    "DEFAULT_LANE_WIDTH",
     "DETECTED",
     "EXECUTOR_CHOICES",
     "EarlyStop",
@@ -81,4 +93,5 @@ __all__ = [
     "point_seed",
     "ppsfp_result",
     "run_campaign",
+    "shutdown_pools",
 ]

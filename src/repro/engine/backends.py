@@ -24,7 +24,9 @@ from ..faults.models import StuckAtFault
 from ..sim.fault_sim import _batch_goods, _batched_detection, _observe_nets
 from ..sim.logic import mask_of, simulate
 from ..soft_error.seu import _golden_run, inject_seu
+from . import lanes
 from .core import Injection
+from .lanes import DEFAULT_LANE_WIDTH
 
 DETECTED = "detected"
 UNDETECTED = "undetected"
@@ -103,12 +105,21 @@ class SeuBackend:
     masked / latent / failure split of :func:`repro.soft_error.seu
     .inject_seu` against a shared golden run.
 
+    ``lane_width`` > 1 (the default) packs that many points into one
+    sequential run via :mod:`repro.engine.lanes`: bit-lane *i* carries
+    fault instance *i* and outcomes come back per lane by XOR against
+    the golden trace — byte-identical to the per-point path, ~W× fewer
+    circuit evaluations.  ``lane_width=1`` keeps the per-point
+    :func:`inject_seu` path for parity testing.
+
     ``skip_dead_flops=True`` opts into the engine's point-filter stage:
     a flop whose single-cycle fan-out cone reaches no primary output and
     no flop D input cannot change the observable trace or the next
     state, so every injection on it is provably ``masked`` — the same
     lossless skip-rule machinery :class:`repro.engine.workloads
-    .SlicingBackend` uses, reused for dead state bits.
+    .SlicingBackend` uses, reused for dead state bits.  Verdicts are
+    cached per flop on the backend, so repeated campaigns on the same
+    instance never recompute a fan-out cone.
     """
 
     name = "seu"
@@ -121,6 +132,7 @@ class SeuBackend:
         targets: Sequence[str] | None = None,
         cycles: Sequence[int] | None = None,
         skip_dead_flops: bool = False,
+        lane_width: int = DEFAULT_LANE_WIDTH,
     ) -> None:
         if not circuit.flops:
             raise ValueError(f"{circuit.name} has no flops to upset")
@@ -133,7 +145,10 @@ class SeuBackend:
                            else range(len(self.stimuli)))
         self.skip_dead_flops = skip_dead_flops
         self.use_filter = skip_dead_flops  # engine filter-stage gate
+        self.lane_width = max(1, lane_width)
         self._golden: tuple | None = None
+        self._lane_ctx: lanes.LaneContext | None = None
+        self._dead_flops: dict[str, bool] = {}  # flop -> cone verdict cache
 
     def enumerate_points(self) -> Sequence[tuple[str, int]]:
         return [(flop, cyc) for flop in self.targets for cyc in self.cycles]
@@ -149,7 +164,7 @@ class SeuBackend:
 
         observables = set(self.circuit.outputs)
         d_nets = {flop.d for flop in self.circuit.flops.values()}
-        dead: dict[str, bool] = {}
+        dead = self._dead_flops  # structural verdicts survive campaigns
 
         def is_dead(flop: str) -> bool:
             if flop not in dead:
@@ -170,14 +185,20 @@ class SeuBackend:
     def prepare(self) -> None:
         if self._golden is None:  # idempotent: re-run per worker process
             self._golden = _golden_run(self.circuit, self.stimuli)
+        if self.lane_width > 1 and self._lane_ctx is None:
+            self._lane_ctx = lanes.build_context(self.circuit, self.stimuli,
+                                                 self.lane_width)
 
     def __getstate__(self) -> dict:
         """The golden trace is dropped: workers re-run it in ``prepare``."""
         state = self.__dict__.copy()
         state["_golden"] = None
+        state["_lane_ctx"] = None
         return state
 
     def run_batch(self, points: Sequence[tuple[str, int]]) -> list[Injection]:
+        if self.lane_width > 1:
+            return self._run_batch_packed(points)
         out: list[Injection] = []
         for flop, cyc in points:
             outcome = inject_seu(self.circuit, self.stimuli, flop, cyc,
@@ -185,6 +206,17 @@ class SeuBackend:
             out.append(Injection(point=(flop, cyc), location=flop,
                                  cycle=cyc, outcome=outcome))
         return out
+
+    def _run_batch_packed(self, points: Sequence[tuple[str, int]]
+                          ) -> list[Injection]:
+        """Lane-packed path: up to ``lane_width`` points per sequential
+        run (grouped by cycle, emitted in point order)."""
+        outcomes = lanes.packed_dispatch(
+            points, self.lane_width, lambda p: p[1],
+            lambda group: lanes.seu_outcomes(self._lane_ctx, group))
+        return [Injection(point=(flop, cyc), location=flop, cycle=cyc,
+                          outcome=outcomes[i])
+                for i, (flop, cyc) in enumerate(points)]
 
 
 class SafetyBackend:

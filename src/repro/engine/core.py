@@ -145,6 +145,13 @@ class EngineConfig:
     multicore scaling applies), or ``"auto"`` (default), which probes
     CPU count, backend picklability and per-batch cost, and falls back
     thread-/serial-wards with a logged reason instead of crashing.
+
+    ``reuse_pool`` (default True) keeps the process pool alive in a
+    module-level registry between campaigns, so sweeps that run many
+    campaigns back to back (``compare_configurations``-style studies)
+    pay worker spawn and module imports once instead of per campaign;
+    the campaign payload still ships fresh each time.  Set it False to
+    restore the one-pool-per-campaign behaviour.
     """
 
     batch_size: int = 64
@@ -155,6 +162,7 @@ class EngineConfig:
     early_stop: EarlyStop | None = None
     commit_every: int = 4  # chunks per CampaignDb commit
     executor: str = "auto"
+    reuse_pool: bool = True
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_CHOICES:
@@ -292,7 +300,17 @@ def run_campaign(
             raise ValueError(
                 f"{backend.name}.filter_points dropped points: kept "
                 f"{len(points)} + skipped {len(skipped)} != {planned}")
-    chunks = _chunked(points, max(1, config.batch_size))
+    # Lane-aware chunk sizing: a lane-packing backend simulates up to
+    # ``lane_width`` points per run, so chunks larger than one lane are
+    # rounded *down* to a lane multiple (no fragmented trailing lane per
+    # chunk).  Chunks are never inflated — early-stop granularity and
+    # per-chunk RNG seeding stay byte-identical to the configured batch
+    # size whenever it already fits a lane.
+    lane_width = max(1, int(getattr(backend, "lane_width", 1) or 1))
+    batch_size = max(1, config.batch_size)
+    if lane_width > 1 and batch_size > lane_width:
+        batch_size -= batch_size % lane_width
+    chunks = _chunked(points, batch_size)
     seeds = [chunk_seed(config.seed, i) for i in range(len(chunks))]
 
     report = CampaignReport(
@@ -315,6 +333,7 @@ def run_campaign(
                 "batch_size": config.batch_size,
                 "workers": config.workers,
                 "executor": config.executor,
+                "lane_width": lane_width,
                 "sample": config.sample,
                 "seed": config.seed,
                 "filtered": len(skipped),
@@ -425,7 +444,8 @@ def run_campaign(
             try:
                 converged = _executors.run_process(
                     backend, chunks, seeds, account_chunk, config.workers,
-                    start=accounted, payload=payload)
+                    start=accounted, payload=payload,
+                    reuse_pool=config.reuse_pool)
             except (BrokenProcessPool, OSError) as exc:
                 # accounting is chunk-ordered, so `accounted` is exactly
                 # the index of the first chunk the pool never delivered —

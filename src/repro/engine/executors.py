@@ -8,10 +8,18 @@ list of point chunks; this module owns *how* those chunks execute:
   overlap, but pure-Python backends hold the GIL, so it only buys
   wall-clock when batches release it;
 * ``process`` — a spawn-safe ``ProcessPoolExecutor``.  The backend and
-  the chunk list are pickled **once** and shipped to each worker via the
-  pool initializer; workers call ``prepare()`` themselves (golden runs
-  and caches are rebuilt per process, never pickled), and tasks are just
-  chunk indices.  True multicore scaling for CPU-bound backends;
+  the chunk list are pickled **once** per campaign; workers call
+  ``prepare()`` themselves (golden runs and caches are rebuilt per
+  process, never pickled), and tasks are just chunk indices.  True
+  multicore scaling for CPU-bound backends.  By default the pool itself
+  is **persistent**: it lives in a module-level registry keyed by worker
+  count and is reused across campaigns, so sweep-style callers
+  (``compare_configurations``, ``encoding_style_study``) pay interpreter
+  spawn and module imports once.  Each campaign's payload is written to
+  a temp file and lazily loaded by every worker on its first task of
+  that campaign (a token guards the worker-side cache), because a
+  long-lived pool cannot re-run initializers.  ``shutdown_pools()``
+  tears the registry down (also registered at exit);
 * ``auto``    — probes the campaign (visible CPUs, backend picklability,
   per-batch cost measured on the first chunk) and picks the fastest safe
   executor, logging the reason instead of crashing when the process pool
@@ -27,14 +35,18 @@ returning — speculative batches past the stop point are never accounted
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import logging
 import multiprocessing
 import os
 import pickle
 import random
+import tempfile
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -165,13 +177,15 @@ def run_serial(backend: Any, chunks: Sequence[Sequence[Any]],
 
 def _run_pool(pool: Any, submit: Callable[[int], Any], n_chunks: int,
               window: int, account: Callable[[list], bool],
-              start: int) -> bool:
+              start: int, shutdown: bool = True) -> bool:
     """Sliding-window dispatch with deterministic chunk-order accounting.
 
     Futures are consumed strictly in submission (= chunk) order.  On
     early stop — and on any error — queued chunks are cancelled and
     in-flight ones are waited out before returning, so no speculative
-    batch is accounted or left running in the background.
+    batch is accounted or left running in the background.  With
+    ``shutdown=False`` (persistent pools) the drain is identical but the
+    pool itself stays alive for the next campaign.
     """
     futures: deque = deque()
     next_chunk = start
@@ -188,7 +202,17 @@ def _run_pool(pool: Any, submit: Callable[[int], Any], n_chunks: int,
                 futures.append(submit(next_chunk))
                 next_chunk += 1
     finally:
-        pool.shutdown(wait=True, cancel_futures=True)
+        if shutdown:
+            pool.shutdown(wait=True, cancel_futures=True)
+        else:
+            for future in futures:
+                future.cancel()
+            for future in futures:  # wait out whatever could not cancel
+                if not future.cancelled():
+                    try:
+                        future.result()
+                    except Exception:  # noqa: BLE001 - drain must not mask
+                        pass  # the original error already propagates
     return converged
 
 
@@ -205,7 +229,7 @@ def run_thread(backend: Any, chunks: Sequence[Sequence[Any]],
 
 
 # ----------------------------------------------------------------------
-# process pool: backend + chunks ship once per worker via the initializer
+# process pool: backend + chunks ship once per worker per campaign
 # ----------------------------------------------------------------------
 _worker_state: tuple | None = None
 
@@ -222,19 +246,80 @@ def _process_worker_run(index: int) -> tuple[int, list]:
     return index, execute_chunk(backend, chunks[index], seeds[index])
 
 
+# Persistent pools: one spawn pool per worker count, reused across
+# campaigns.  A long-lived pool cannot re-run its initializer, so each
+# campaign's payload is parked in a temp file and every worker loads it
+# lazily on its first task of that campaign; ``_campaign_state`` caches
+# exactly one campaign per worker (tokens are monotonically increasing,
+# so a stale cache is simply replaced).  The parent deletes the file
+# only after every future of the campaign has completed or been
+# cancelled, so no worker can read past the unlink.
+_pool_registry: dict[int, ProcessPoolExecutor] = {}
+_campaign_tokens = itertools.count(1)
+_campaign_state: tuple | None = None  # worker-side: (token, backend, ...)
+
+
+def persistent_pool(workers: int) -> ProcessPoolExecutor:
+    """The registry pool for ``workers``, spawned on first use."""
+    workers = max(1, workers)
+    pool = _pool_registry.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("spawn"))
+        _pool_registry[workers] = pool
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    pool = _pool_registry.pop(max(1, workers), None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Tear down every persistent pool (tests, benchmarks, atexit)."""
+    pools = list(_pool_registry.values())
+    _pool_registry.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def _persistent_worker_run(token: int, path: str,
+                           index: int) -> tuple[int, list]:
+    global _campaign_state
+    if _campaign_state is None or _campaign_state[0] != token:
+        _campaign_state = None  # free the stale campaign before loading
+        with open(path, "rb") as fh:
+            backend, chunks, seeds = pickle.load(fh)
+        backend.prepare()  # once per worker per campaign, as before
+        _campaign_state = (token, backend, chunks, seeds)
+    _, backend, chunks, seeds = _campaign_state
+    return index, execute_chunk(backend, chunks[index], seeds[index])
+
+
+def _persistent_worker_release(token: int) -> None:
+    """Drop the cached campaign if it is (at most) ``token``'s.
+
+    Tokens increase monotonically, so a worker that already loaded a
+    *newer* campaign must keep it; everything older is garbage."""
+    global _campaign_state
+    if _campaign_state is not None and _campaign_state[0] <= token:
+        _campaign_state = None
+
+
 def run_process(backend: Any, chunks: Sequence[Sequence[Any]],
                 seeds: Sequence[int], account: Callable[[list], bool],
                 workers: int, start: int = 0,
-                payload: bytes | None = None) -> bool:
+                payload: bytes | None = None,
+                reuse_pool: bool = True) -> bool:
     if payload is None:
         payload = pickle.dumps((backend, chunks, list(seeds)),
                                protocol=pickle.HIGHEST_PROTOCOL)
     n_workers = max(1, min(workers, len(chunks) - start))
-    pool = ProcessPoolExecutor(
-        max_workers=n_workers,
-        mp_context=multiprocessing.get_context("spawn"),
-        initializer=_process_worker_init,
-        initargs=(payload,))
 
     expected = start
 
@@ -247,6 +332,53 @@ def run_process(backend: Any, chunks: Sequence[Sequence[Any]],
                 f"expected {expected}")
         expected += 1
         return account(batch)
+
+    if reuse_pool:
+        pool = persistent_pool(workers)
+        token = next(_campaign_tokens)
+        fd, path = tempfile.mkstemp(prefix="repro-engine-payload-",
+                                    suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+
+            def submit(i: int):
+                return pool.submit(_persistent_worker_run, token, path, i)
+
+            try:
+                return _run_pool(pool, submit, len(chunks),
+                                 _window(n_workers), account_indexed, start,
+                                 shutdown=False)
+            except (BrokenProcessPool, OSError):
+                # a broken pool never heals: evict it so the next
+                # campaign spawns fresh (the engine's thread fallback
+                # handles *this* campaign)
+                _discard_pool(workers)
+                raise
+            finally:
+                # best-effort memory release: idle workers would
+                # otherwise hold this campaign's backend + chunks until
+                # the next campaign reaches them.  Fire-and-forget; the
+                # shared queue does not guarantee every worker takes
+                # one, and a worker already on a newer campaign ignores
+                # it (token guard).
+                if _pool_registry.get(max(1, workers)) is pool:
+                    for _ in range(pool._max_workers):
+                        try:
+                            pool.submit(_persistent_worker_release, token)
+                        except RuntimeError:  # pragma: no cover - shutdown
+                            break
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    pool = ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=multiprocessing.get_context("spawn"),
+        initializer=_process_worker_init,
+        initargs=(payload,))
 
     def submit(i: int):
         return pool.submit(_process_worker_run, i)

@@ -1,0 +1,262 @@
+"""Lane-packed injection simulation: the temporal axis of bit-parallelism.
+
+The packed-pattern trick that makes PPSFP cheap — one Python int carries
+one net across *n* patterns — applies just as well across *injections*:
+a chunk of up to ``DEFAULT_LANE_WIDTH`` injection points is simulated in
+**one** sequential run where bit-lane *i* carries fault instance *i*.
+All lanes share the stimulus (replicated bits), start from the golden
+state, and diverge only when their own fault is injected, which for the
+sequential fault models in this toolkit is a per-lane XOR of the flop
+state (:meth:`repro.sim.sequential.SequentialSim.flip_state` with a
+``pattern_mask``).  Outcomes come back per lane by XOR against the
+replicated golden trace:
+
+* **failure** — the lane's primary-output bits differ from golden in
+  some cycle;
+* **latent**  — outputs match but the lane's final state differs;
+* **masked**  — neither.
+
+The cost of a packed run is one circuit evaluation per cycle regardless
+of lane count (Python bigint bitwise ops are width-insensitive at these
+sizes), so a ``W``-lane run replaces ``W`` sequential resimulations.
+
+Two front-ends are provided: :func:`seu_outcomes` (flip one flop at one
+cycle — :class:`repro.engine.backends.SeuBackend`) and
+:func:`transient_outcomes` (arbitrary injection-cycle physics supplied
+by the backend, e.g. a transient stuck-at; the lane carries the
+resulting *state perturbation* — :class:`repro.engine.workloads
+.SlicingBackend`).  Both are provably lane-exact: each lane computes the
+same boolean function of the same inputs as the per-point simulation,
+so outcome multisets are byte-identical at every lane width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..circuit.netlist import Circuit
+from ..sim.logic import mask_of, simulate
+from ..sim.sequential import SequentialSim
+from .core import _chunked
+
+#: Default number of fault instances packed into one sequential run.
+DEFAULT_LANE_WIDTH = 64
+
+MASKED = "masked"
+LATENT = "latent"
+FAILURE = "failure"
+
+
+def lane_groups(items: Sequence[Any], width: int) -> list[Sequence[Any]]:
+    """Split ``items`` into consecutive groups of at most ``width`` —
+    the engine's chunking rule, clamped to a sane width."""
+    return _chunked(items, max(1, width))
+
+
+def packed_dispatch(
+    points: Sequence[Any],
+    width: int,
+    cycle_of: Callable[[Any], int],
+    outcomes_fn: Callable[[list[Any]], list[str]],
+) -> list[str]:
+    """Group ``points`` into lanes and classify them, in point order.
+
+    Points are visited by ascending injection cycle so each packed run
+    starts at its group's earliest cycle (lanes are golden before their
+    flip, so nothing earlier needs simulating), but the returned
+    outcome list follows the original point order — what ``run_batch``
+    must preserve for executor-identity.
+    """
+    order = sorted(range(len(points)), key=lambda i: cycle_of(points[i]))
+    outcomes: list[str | None] = [None] * len(points)
+    for group in lane_groups(order, width):
+        got = outcomes_fn([points[i] for i in group])
+        for i, outcome in zip(group, got):
+            outcomes[i] = outcome
+    return outcomes  # type: ignore[return-value]
+
+
+@dataclass
+class LaneContext:
+    """Replicated golden-run data shared by every packed run.
+
+    Built once per backend ``prepare()`` and never pickled (workers
+    rebuild it): the stimulus and the golden PO trace replicated across
+    ``width`` lanes, plus the 1-bit golden state *entering* each cycle
+    (what a packed run starting mid-workload is seeded from) and the
+    1-bit golden final state (the latent check reference).
+    """
+
+    circuit: Circuit
+    width: int
+    mask: int
+    rep_stimuli: list[dict[str, int]]
+    rep_trace: list[dict[str, int]]
+    states: list[dict[str, int]]
+    final_state: dict[str, int]
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.rep_stimuli)
+
+
+def build_context(
+    circuit: Circuit,
+    stimuli: Sequence[Mapping[str, int]],
+    width: int,
+    golden: tuple[list[dict[str, int]], list[dict[str, int]]] | None = None,
+) -> LaneContext:
+    """Run (or reuse) the golden pass and replicate it across lanes.
+
+    ``golden`` may hand in an existing ``(states, values)`` pair in the
+    :func:`repro.safety.slicing._golden_states` format — per-cycle
+    entering states plus full net values — to avoid a second golden
+    simulation when the backend already keeps one.
+    """
+    mask = mask_of(width)
+    if golden is not None:
+        states = [dict(st) for st in golden[0]]
+        values = golden[1]
+        trace = [{po: vals.get(po, 0) & 1 for po in circuit.outputs}
+                 for vals in values]
+        final_state = ({q: values[-1][f.d] & 1
+                        for q, f in circuit.flops.items()} if values else
+                       dict(states[0]) if states else
+                       {q: (1 if f.init else 0)
+                        for q, f in circuit.flops.items()})
+    else:
+        state = {q: (1 if f.init else 0) for q, f in circuit.flops.items()}
+        states, trace = [], []
+        for stim in stimuli:
+            vals = simulate(circuit, stim, 1, state)
+            states.append(state)
+            trace.append({po: vals.get(po, 0) & 1 for po in circuit.outputs})
+            state = {q: vals[f.d] & 1 for q, f in circuit.flops.items()}
+        final_state = state
+    rep_stimuli = [
+        {pi: (mask if (stim.get(pi, 0) & 1) else 0) for pi in circuit.inputs}
+        for stim in stimuli
+    ]
+    rep_trace = [{po: (mask if bit else 0) for po, bit in cyc.items()}
+                 for cyc in trace]
+    return LaneContext(circuit, width, mask, rep_stimuli, rep_trace,
+                       states, final_state)
+
+
+def propagate(ctx: LaneContext, flips: Mapping[int, Mapping[str, int]],
+              start: int, n_lanes: int) -> tuple[int, int]:
+    """One packed fault-free propagation with scheduled per-lane flips.
+
+    ``flips[cycle][flop]`` is the lane mask XORed into that flop's state
+    *before* the cycle is evaluated (an SEU flip, or the state delta a
+    transient injection left behind).  Lanes are golden until their
+    first flip, so starting at ``start`` (the earliest flip cycle) from
+    the replicated golden entering-state loses nothing.
+
+    Returns ``(fail_mask, latent_mask)``: lanes whose PO bits diverged
+    from the golden trace in some cycle, and lanes whose final state
+    differs without any PO divergence.
+    """
+    mask = ctx.mask
+    lanes = mask_of(n_lanes)
+    sim = SequentialSim(ctx.circuit, ctx.width)
+    for q, bit in ctx.states[start].items():
+        sim.state[q] = mask if bit else 0
+    sim.cycle = start
+    fail = 0
+    for cyc in range(start, ctx.n_cycles):
+        for q, lane_mask in flips.get(cyc, {}).items():
+            sim.flip_state(q, lane_mask)
+        out = sim.step(ctx.rep_stimuli[cyc])
+        golden = ctx.rep_trace[cyc]
+        for po, val in out.items():
+            fail |= val ^ golden[po]
+    diff = 0
+    for q, bit in ctx.final_state.items():
+        diff |= sim.state[q] ^ (mask if bit else 0)
+    fail &= lanes
+    return fail, diff & lanes & ~fail
+
+
+def seu_outcomes(ctx: LaneContext,
+                 points: Sequence[tuple[str, int]]) -> list[str]:
+    """Classify up to ``ctx.width`` SEU points in one packed run.
+
+    Lane *i* flips ``points[i] = (flop, cycle)`` before that cycle is
+    evaluated — exactly :func:`repro.soft_error.seu.inject_seu`'s
+    semantics — and the masked/latent/failure split is recovered per
+    lane by XOR against the shared golden trace.
+    """
+    if len(points) > ctx.width:
+        raise ValueError(f"{len(points)} points exceed lane width "
+                         f"{ctx.width}")
+    flips: dict[int, dict[str, int]] = {}
+    start = ctx.n_cycles
+    for lane, (flop, cyc) in enumerate(points):
+        if cyc < 0 or cyc >= ctx.n_cycles:
+            # the flip never fires inside the workload: provably masked
+            # (matching inject_seu; a negative index must not reach the
+            # context lists, where it would wrap around)
+            continue
+        per_cycle = flips.setdefault(cyc, {})
+        per_cycle[flop] = per_cycle.get(flop, 0) | (1 << lane)
+        start = min(start, cyc)
+    if start >= ctx.n_cycles:
+        return [MASKED] * len(points)
+    fail, latent = propagate(ctx, flips, start, len(points))
+    return [FAILURE if (fail >> i) & 1 else
+            LATENT if (latent >> i) & 1 else MASKED
+            for i in range(len(points))]
+
+
+def transient_outcomes(
+    ctx: LaneContext,
+    points: Sequence[tuple[Any, int]],
+    inject: Callable[[Any, int], tuple[bool, Mapping[str, int]]],
+) -> list[str]:
+    """Classify up to ``ctx.width`` transient injections in one packed run.
+
+    ``inject(fault, cycle)`` performs the backend-specific injection
+    cycle against golden data and returns ``(failed_now, state_delta)``:
+    whether a primary output already differs in the injection cycle, and
+    the per-flop XOR the perturbation leaves on the state entering
+    ``cycle + 1``.  Points that fail immediately, leave no perturbation
+    (masked), or perturb only the post-workload state (latent) are
+    resolved without a lane; the rest share one packed propagation.
+    """
+    if len(points) > ctx.width:
+        raise ValueError(f"{len(points)} points exceed lane width "
+                         f"{ctx.width}")
+    outcomes: list[str | None] = [None] * len(points)
+    flips: dict[int, dict[str, int]] = {}
+    start = ctx.n_cycles
+    lane_of: list[int] = []
+    for i, (fault, cyc) in enumerate(points):
+        if cyc < 0:
+            # a negative index would silently wrap into golden data here
+            # (and in the per-point reference) — refuse loudly instead
+            raise ValueError(f"injection cycle {cyc} is negative")
+        failed_now, delta = inject(fault, cyc)
+        if failed_now:
+            outcomes[i] = FAILURE
+            continue
+        hot = [q for q, bit in delta.items() if bit]
+        if not hot:
+            outcomes[i] = MASKED
+            continue
+        if cyc + 1 >= ctx.n_cycles:
+            outcomes[i] = LATENT  # perturbed state survives to the end
+            continue
+        lane_mask = 1 << len(lane_of)
+        per_cycle = flips.setdefault(cyc + 1, {})
+        for q in hot:
+            per_cycle[q] = per_cycle.get(q, 0) | lane_mask
+        start = min(start, cyc + 1)
+        lane_of.append(i)
+    if lane_of:
+        fail, latent = propagate(ctx, flips, start, len(lane_of))
+        for lane, i in enumerate(lane_of):
+            outcomes[i] = (FAILURE if (fail >> lane) & 1 else
+                           LATENT if (latent >> lane) & 1 else MASKED)
+    return outcomes  # type: ignore[return-value]

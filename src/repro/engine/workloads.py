@@ -28,8 +28,10 @@ from typing import Any, Callable, Mapping, Sequence
 from ..circuit.levelize import fanout_cone
 from ..circuit.netlist import Circuit
 from ..faults.models import StuckAtFault
+from . import lanes
 from .core import Injection
 from .executors import chunk_seed
+from .lanes import DEFAULT_LANE_WIDTH
 
 DETECTED = "detected"
 UNDETECTED = "undetected"
@@ -247,12 +249,14 @@ class GpgpuSeuBackend:
 
     def __init__(self, kernel: Sequence[Any], inputs: Sequence[int],
                  faults: Sequence[Any], label: str = "kernel",
-                 n_warps: int = 2, warp_size: int = 8) -> None:
+                 n_warps: int = 2, warp_size: int = 8,
+                 lane_width: int = DEFAULT_LANE_WIDTH) -> None:
         self.kernel = list(kernel)
         self.inputs = list(inputs)
         self.faults = list(faults)
         self.n_warps = n_warps
         self.warp_size = warp_size
+        self.lane_width = max(1, lane_width)
         self.circuit_name = f"simt-{label}"
         self.workload = f"gpgpu-seu[{len(self.faults)} transients]"
         self._golden: list[int] | None = None
@@ -283,15 +287,67 @@ class GpgpuSeuBackend:
         return self._golden_issues
 
     def run_batch(self, points: Sequence[tuple[int, Any]]) -> list[Injection]:
-        out: list[Injection] = []
-        for index, fault in points:
-            observed, _ = self._run([fault])
-            outcome = "masked" if observed == self._golden else "sdc"
-            out.append(Injection(
-                point=(index, fault),
-                location=f"w{fault.warp}.l{fault.lane}.b{fault.bit}",
-                cycle=fault.at_issue, outcome=outcome))
-        return out
+        if self.lane_width > 1:
+            outcomes = self._forked_outcomes(points)
+        else:
+            outcomes = []
+            for _index, fault in points:
+                observed, _ = self._run([fault])
+                outcomes.append("masked" if observed == self._golden
+                                else "sdc")
+        return [Injection(
+            point=(index, fault),
+            location=f"w{fault.warp}.l{fault.lane}.b{fault.bit}",
+            cycle=fault.at_issue, outcome=outcome)
+            for (index, fault), outcome in zip(points, outcomes)]
+
+    def _boot(self):
+        from ..gpgpu.simt import SimtCore
+
+        core = SimtCore(self.kernel, n_warps=self.n_warps,
+                        warp_size=self.warp_size)
+        for i, value in enumerate(self.inputs):
+            core.memory[i] = value
+        return core
+
+    def _forked_outcomes(self, points: Sequence[tuple[int, Any]]
+                         ) -> list[str]:
+        """The SIMT flavour of lane packing: the fault-free prefix is
+        executed once per batch.  Points are visited in ``at_issue``
+        order while a single golden core advances; at each injection
+        slot the core is forked, the transient injected, and only the
+        *remainder* of the kernel replayed.  A :class:`PipeRegFault`
+        cannot act before its slot, so the fork is bit-exact with a
+        from-scratch faulty run (the ``rr`` continuation keeps the warp
+        schedule aligned)."""
+        from ..gpgpu.simt import MAX_ISSUES
+
+        order = sorted(range(len(points)), key=lambda i: points[i][1].at_issue)
+        outcomes: list[str | None] = [None] * len(points)
+        core = self._boot()
+        rr = 0
+        issued = 0
+        alive = True
+        budget = MAX_ISSUES  # the per-point path's implicit run cap
+        for i in order:
+            _index, fault = points[i]
+            target = min(fault.at_issue, budget)
+            while alive and issued < target:
+                stepped = core.run(max_issues=target - issued, rr=rr)
+                issued += stepped
+                if stepped:
+                    rr = (core.schedule_trace[-1] + 1) % len(core.warps)
+                if issued < target:
+                    alive = False  # kernel finished before the slot
+            if not alive and issued <= fault.at_issue:
+                outcomes[i] = "masked"  # fault slot never issues
+                continue
+            clone = core.fork()
+            clone.inject(fault)
+            clone.run(max_issues=budget - issued, rr=rr)
+            observed = clone.memory[128:128 + clone.n_threads]
+            outcomes[i] = "masked" if observed == self._golden else "sdc"
+        return outcomes  # type: ignore[return-value]
 
 
 # ----------------------------------------------------------------------
@@ -317,17 +373,25 @@ class SlicingBackend:
     def __init__(self, circuit: Circuit, faults: Sequence[StuckAtFault],
                  stimuli: Sequence[Mapping[str, int]],
                  cycles: Sequence[int] | None = None,
-                 use_filter: bool = True) -> None:
+                 use_filter: bool = True,
+                 lane_width: int = DEFAULT_LANE_WIDTH) -> None:
         self.circuit = circuit
         self.circuit_name = circuit.name
         self.faults = list(faults)
         self.stimuli = list(stimuli)
         self.cycles = list(cycles if cycles is not None
                            else range(len(self.stimuli)))
+        if any(cyc < 0 for cyc in self.cycles):
+            # a negative cycle would silently wrap into golden-run data
+            # (differently per lane width) — reject it up front so every
+            # path behaves identically
+            raise ValueError(f"negative injection cycles in {self.cycles}")
         self.use_filter = use_filter
+        self.lane_width = max(1, lane_width)
         self.workload = (f"slicing[{len(self.stimuli)} cycles, "
                          f"{'sliced' if use_filter else 'naive'}]")
         self._golden: tuple[list, list] | None = None
+        self._lane_ctx: lanes.LaneContext | None = None
 
     def enumerate_points(self) -> Sequence[tuple[StuckAtFault, int]]:
         return [(fault, cyc) for fault in self.faults for cyc in self.cycles]
@@ -337,10 +401,17 @@ class SlicingBackend:
             from ..safety.slicing import _golden_states
 
             self._golden = _golden_states(self.circuit, self.stimuli)
+        if self.lane_width > 1 and self._lane_ctx is None:
+            # the lane context replicates the golden pass already held in
+            # ``_golden`` — no second golden simulation
+            self._lane_ctx = lanes.build_context(
+                self.circuit, self.stimuli, self.lane_width,
+                golden=self._golden)
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_golden"] = None  # workers re-run the golden pass
+        state["_lane_ctx"] = None
         return state
 
     def filter_points(self, points: Sequence[tuple[StuckAtFault, int]]
@@ -376,6 +447,8 @@ class SlicingBackend:
 
     def run_batch(self, points: Sequence[tuple[StuckAtFault, int]]
                   ) -> list[Injection]:
+        if self.lane_width > 1:
+            return self._run_batch_packed(points)
         from ..safety.slicing import _simulate_injection
 
         states, values = self._golden
@@ -387,3 +460,111 @@ class SlicingBackend:
                                  location=fault.describe(), cycle=cyc,
                                  outcome=cls))
         return out
+
+    def _inject_once(self, fault: StuckAtFault,
+                     cyc: int) -> tuple[bool, dict[str, int]]:
+        """The injection cycle of one transient, against golden data.
+
+        Returns ``(failed_now, state_delta)``: whether a primary output
+        already differs in the injection cycle, and the per-flop XOR the
+        fault leaves on the state entering ``cyc + 1`` — exactly the
+        first loop iteration of :func:`repro.safety.slicing
+        ._simulate_injection` (including the flop-branch ``__flopD__``
+        capture rule)."""
+        from ..sim.fault_sim import faulty_values
+
+        _states, values = self._golden
+        good = values[cyc]
+        vals = faulty_values(self.circuit, fault, good, 1)
+        failed_now = any(vals.get(po, 0) != good.get(po, 0)
+                         for po in self.circuit.outputs)
+        if failed_now:
+            return True, {}
+        line = fault.line
+        delta: dict[str, int] = {}
+        for q, flop in self.circuit.flops.items():
+            if not line.is_stem and line.sink == q:
+                captured = vals.get(f"__flopD__{q}", vals[flop.d])
+            else:
+                captured = vals[flop.d]
+            delta[q] = (captured ^ good[flop.d]) & 1
+        return False, delta
+
+    def _run_batch_packed(self, points: Sequence[tuple[StuckAtFault, int]]
+                          ) -> list[Injection]:
+        """Lane-packed path: each point's injection cycle runs 1-wide
+        (fault forcing differs per lane), but the multi-cycle
+        propagation of the surviving state perturbations — the dominant
+        cost — is shared across up to ``lane_width`` lanes."""
+        outcomes = lanes.packed_dispatch(
+            points, self.lane_width, lambda p: p[1],
+            lambda group: lanes.transient_outcomes(
+                self._lane_ctx, group, self._inject_once))
+        return [Injection(point=(fault, cyc), location=fault.describe(),
+                          cycle=cyc, outcome=outcomes[i])
+                for i, (fault, cyc) in enumerate(points)]
+
+
+# ----------------------------------------------------------------------
+# round batching: several campaigns behind one engine run
+# ----------------------------------------------------------------------
+class CompositeBackend:
+    """Several independent backends fused into one campaign.
+
+    Multi-round facades (``gpgpu.encoding_style_study`` comparing two
+    kernel encodings, ``rsn.diagnostic_test`` evaluating a window of
+    candidate tests) used to run one engine campaign per round, paying
+    campaign setup — and, on the process executor, backend shipping —
+    once per round.  A composite fuses the rounds: points are
+    ``(tag, sub_point)`` pairs, ``run_batch`` routes each chunk slice to
+    its part (so per-part lane packing still applies within a chunk),
+    and callers recover per-round results by filtering injections on the
+    tag (``Injection.location`` is prefixed with it for DB readability).
+
+    Parts must follow the usual contract (pure ``run_batch``, idempotent
+    ``prepare``, prepared state dropped on pickling); the composite then
+    inherits picklability and process-executor support for free.
+    """
+
+    def __init__(self, parts: Sequence[tuple[str, Any]]) -> None:
+        if not parts:
+            raise ValueError("CompositeBackend needs at least one part")
+        self.parts = list(parts)
+        self._by_tag = dict(self.parts)
+        if len(self._by_tag) != len(self.parts):
+            raise ValueError("CompositeBackend tags must be unique")
+        first = self.parts[0][1]
+        self.name = f"composite[{first.name} x{len(self.parts)}]"
+        self.circuit_name = first.circuit_name
+        self.fault_model = first.fault_model
+        self.workload = f"{len(self.parts)} rounds batched"
+
+    @property
+    def lane_width(self) -> int:
+        return max(int(getattr(b, "lane_width", 1) or 1)
+                   for _, b in self.parts)
+
+    def part(self, tag: str) -> Any:
+        return self._by_tag[tag]
+
+    def enumerate_points(self) -> Sequence[tuple[str, Any]]:
+        return [(tag, point) for tag, backend in self.parts
+                for point in backend.enumerate_points()]
+
+    def prepare(self) -> None:
+        for _, backend in self.parts:
+            backend.prepare()
+
+    def run_batch(self, points: Sequence[tuple[str, Any]]) -> list[Injection]:
+        out: list[Injection | None] = [None] * len(points)
+        groups: dict[str, list[tuple[int, Any]]] = {}
+        for pos, (tag, point) in enumerate(points):
+            groups.setdefault(tag, []).append((pos, point))
+        for tag, items in groups.items():
+            batch = self._by_tag[tag].run_batch([p for _, p in items])
+            for (pos, _), inj in zip(items, batch):
+                out[pos] = Injection(
+                    point=(tag, inj.point),
+                    location=f"{tag}:{inj.location}",
+                    cycle=inj.cycle, outcome=inj.outcome, detail=inj.detail)
+        return out  # type: ignore[return-value]

@@ -150,23 +150,38 @@ def encoding_style_study(
 ) -> list[EncodingStudyResult]:
     """Inject pipeline transients into both encodings of the same kernel.
 
-    One engine campaign per encoding; the fault sequences continue a
-    single RNG stream exactly like the pre-engine loop, so the outcome
-    counts are draw-for-draw identical.
+    Both encodings run as **one** engine campaign (a
+    :class:`repro.engine.CompositeBackend` with one part per encoding),
+    so campaign setup — and, on the process executor, worker spawn and
+    backend shipping — is paid once instead of per round.  The fault
+    sequences continue a single RNG stream exactly like the pre-engine
+    loop, so the outcome counts are draw-for-draw identical.
     """
+    from ..engine.core import EngineConfig, run_campaign
+    from ..engine.workloads import CompositeBackend, GpgpuSeuBackend
+
     rng = random.Random(seed)
     inputs = [rng.randrange(90) for _ in range(128)]
-    results = []
+    rounds = []
     for name, kernel in (("branchy", saturating_add_branchy(limit)),
                          ("predicated", saturating_add_predicated(limit))):
         _golden, golden_issues = _run(kernel, inputs, [])
         faults = _draw_faults(rng, n_injections, 16, golden_issues)
-        report = _seu_report(kernel, inputs, faults, name, db, workers,
-                             executor)
-        results.append(EncodingStudyResult(
-            name, golden_issues, masked=report.count("masked"),
-            sdc=report.count("sdc"), injections=n_injections))
-    return results
+        rounds.append((name, kernel, golden_issues, faults))
+    backend = CompositeBackend(
+        [(name, GpgpuSeuBackend(kernel, inputs, faults, label=name))
+         for name, kernel, _issues, faults in rounds])
+    report = run_campaign(
+        backend, EngineConfig(batch_size=16, workers=workers,
+                              executor=executor), db=db)
+    by_tag: dict[str, dict[str, int]] = {name: {} for name, *_ in rounds}
+    for inj in report.injections:
+        counts = by_tag[inj.point[0]]
+        counts[inj.outcome] = counts.get(inj.outcome, 0) + 1
+    return [EncodingStudyResult(
+        name, golden_issues, masked=by_tag[name].get("masked", 0),
+        sdc=by_tag[name].get("sdc", 0), injections=n_injections)
+        for name, _kernel, golden_issues, _faults in rounds]
 
 
 def seu_campaign_on_kernel(

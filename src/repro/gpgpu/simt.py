@@ -25,6 +25,11 @@ from dataclasses import dataclass, field
 
 WORD = 0xFFFFFFFF
 
+#: Default issue-slot budget of one kernel run — shared by every path
+#: that replays or resumes a core, so forked/partial runs stay bit-exact
+#: with a from-scratch run.
+MAX_ISSUES = 10_000
+
 #: ops: (dst, a, b) registers unless noted
 SIMT_OPS = ("add", "sub", "mul", "and", "or", "xor", "slt",
             "addi",      # dst, a, imm
@@ -152,10 +157,33 @@ class SimtCore:
                 value ^= 1 << fault.bit
         return value & WORD
 
+    def fork(self) -> "SimtCore":
+        """An independent copy of the architectural state (registers,
+        memory, divergence stacks, issue count).  The kernel is shared
+        (immutable) and the schedule trace starts fresh; resuming a fork
+        with :meth:`run`'s ``rr`` continuation reproduces a from-scratch
+        run exactly — the snapshot trick golden-prefix fault campaigns
+        use to avoid replaying the fault-free prefix per injection."""
+        clone = SimtCore.__new__(SimtCore)
+        clone.kernel = self.kernel
+        clone.warp_size = self.warp_size
+        clone.memory = list(self.memory)
+        clone.warps = [Warp(w.wid, w.size, w.pc, w.active_mask,
+                            [regs[:] for regs in w.regs], w.done,
+                            list(w.stack)) for w in self.warps]
+        clone.faults = list(self.faults)
+        clone.issue_count = self.issue_count
+        clone.schedule_trace = []
+        return clone
+
     # ------------------------------------------------------------------
-    def run(self, max_issues: int = 10_000) -> int:
-        """Execute until all warps halt; returns issue slots consumed."""
-        rr = 0
+    def run(self, max_issues: int = MAX_ISSUES, rr: int = 0) -> int:
+        """Execute until all warps halt; returns issue slots consumed.
+
+        ``rr`` seeds the round-robin pointer — pass ``(last scheduled
+        warp + 1) % n_warps`` to continue a partially-run core exactly
+        where a single uninterrupted run would be."""
+        rr = rr % len(self.warps)
         start = self.issue_count
         while self.issue_count - start < max_issues:
             warp = self._next_warp(rr)

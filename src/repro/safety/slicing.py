@@ -140,12 +140,14 @@ def _run_slicing_campaign(
     db,
     workers: int,
     executor: str,
+    lane_width: int | None,
 ) -> CampaignOutcome:
     from ..engine.core import EngineConfig, run_campaign
     from ..engine.workloads import SlicingBackend
 
+    kwargs = {} if lane_width is None else {"lane_width": lane_width}
     backend = SlicingBackend(circuit, faults, stimuli, cycles,
-                             use_filter=use_filter)
+                             use_filter=use_filter, **kwargs)
     report = run_campaign(
         backend, EngineConfig(batch_size=32, workers=workers,
                               executor=executor), db=db)
@@ -160,15 +162,18 @@ def run_naive_campaign(
     db=None,
     workers: int = 1,
     executor: str = "auto",
+    lane_width: int | None = None,
 ) -> CampaignOutcome:
     """Simulate every (fault, cycle) pair — the reference cost.
 
     Runs on the unified engine with the point filter disabled
-    (``db``/``workers``/``executor`` passthrough).
+    (``db``/``workers``/``executor``/``lane_width`` passthrough; lane
+    packing shares the multi-cycle propagation of up to 64 injections
+    per run, with byte-identical classifications).
     """
     return _run_slicing_campaign(circuit, faults, stimuli, cycles,
                                  use_filter=False, db=db, workers=workers,
-                                 executor=executor)
+                                 executor=executor, lane_width=lane_width)
 
 
 def run_sliced_campaign(
@@ -179,6 +184,7 @@ def run_sliced_campaign(
     db=None,
     workers: int = 1,
     executor: str = "auto",
+    lane_width: int | None = None,
 ) -> CampaignOutcome:
     """The accelerated campaign: skip provably-masked injections.
 
@@ -200,7 +206,7 @@ def run_sliced_campaign(
     """
     return _run_slicing_campaign(circuit, faults, stimuli, cycles,
                                  use_filter=True, db=db, workers=workers,
-                                 executor=executor)
+                                 executor=executor, lane_width=lane_width)
 
 
 def verify_equivalence(naive: CampaignOutcome, sliced: CampaignOutcome) -> bool:

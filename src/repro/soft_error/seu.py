@@ -111,6 +111,7 @@ def run_campaign(
     db=None,
     workers: int = 1,
     executor: str = "auto",
+    lane_width: int | None = None,
 ) -> SeuCampaignResult:
     """SEU campaign over flops × cycles (exhaustive or sampled).
 
@@ -120,12 +121,16 @@ def run_campaign(
     :class:`repro.core.campaign.CampaignDb`, ``workers`` > 1 runs
     batches concurrently, and ``executor`` picks the strategy
     (serial/thread/process/auto) — results are identical to the serial
-    run for any combination.
+    run for any combination.  ``lane_width`` overrides the engine's
+    lane packing (injections simulated per packed sequential run;
+    default 64, ``1`` forces the per-point reference path) — outcomes
+    are byte-identical at every width.
     """
     from ..engine.backends import SeuBackend
     from ..engine.core import EngineConfig, run_campaign as run_engine
 
-    backend = SeuBackend(circuit, stimuli, targets, cycles)
+    kwargs = {} if lane_width is None else {"lane_width": lane_width}
+    backend = SeuBackend(circuit, stimuli, targets, cycles, **kwargs)
     config = EngineConfig(workers=workers, sample=sample, seed=seed,
                           executor=executor)
     report = run_engine(backend, config, db=db)
