@@ -11,6 +11,12 @@ when the engine's perf claims regress:
   the packed SEU path fell below 3x over per-point on the smoke
   workload (the headline target is >= 5x; 3x is the regression floor);
 * the persistent worker pool changed campaign outcomes vs fresh pools;
+* the compiled simulation core lost interpreter identity on any path
+  (unconditional), or its warm PPSFP speedup fell below the 3x CI floor
+  (the headline target is >= 5x), or the compiled packed-SEU path lost
+  identity or fell below 2x;
+* pattern shipping stopped engaging on an over-threshold payload,
+  stopped shrinking the pickled backend, or changed campaign outcomes;
 * on a multicore host, the process executor at 4 workers is slower than
   serial on the SEU workload.  The stretch target — >= 2x on hosts with
   >= 4 CPUs — is reported as a warning, not enforced, until a real
@@ -72,6 +78,42 @@ def check(record: dict) -> list[str]:
     elif not pool["outcome_identical"]:
         failures.append("persistent pool changed campaign outcomes")
 
+    csim = record.get("compiled_sim")
+    if csim is None:
+        failures.append("compiled_sim rows missing from the bench record")
+    else:
+        for path in ("ppsfp", "seu"):
+            data = csim.get(path)
+            if data is None:
+                failures.append(f"compiled_sim {path} rows missing")
+            elif not data["outcome_identical"]:
+                failures.append(
+                    f"compiled {path} path is no longer interpreter-"
+                    "identical")
+        ppsfp_c = csim.get("ppsfp")
+        if ppsfp_c and ppsfp_c["warm_speedup"] < 3.0:
+            failures.append(
+                f"compiled PPSFP warm speedup {ppsfp_c['warm_speedup']}x "
+                "fell below the 3x floor (target >= 5x)")
+        seu_c = csim.get("seu")
+        if seu_c and seu_c["speedup"] < 2.0:
+            failures.append(
+                f"compiled packed-SEU speedup {seu_c['speedup']}x fell "
+                "below the 2x floor (target >= 3x)")
+
+    ship = record.get("pattern_shipping")
+    if ship is None:
+        failures.append("pattern_shipping rows missing from the bench record")
+    else:
+        if not ship["shipped"]:
+            failures.append(
+                "pattern payload above the threshold was not shipped")
+        if not ship["outcome_identical"]:
+            failures.append("pattern shipping changed campaign outcomes")
+        if ship["backend_shipped_bytes"] >= ship["backend_inline_bytes"]:
+            failures.append(
+                "shipped backend payload is not smaller than inline")
+
     scaling = record["executor_scaling"]
     for workload in PORTED_WORKLOADS:
         if workload not in scaling:
@@ -109,9 +151,12 @@ def main(argv: list[str]) -> int:
         return 1
     seu = record["executor_scaling"]["seu"]
     lanes = record["lane_packing"]["seu"]
+    csim = record["compiled_sim"]
     print(f"engine perf gate OK (host_cpus={record.get('host_cpus')}, "
           f"seu process_x4 speedup {seu['process_x4_speedup']}x, "
-          f"packed seu {lanes['packed_speedup']}x)")
+          f"packed seu {lanes['packed_speedup']}x, "
+          f"compiled ppsfp warm {csim['ppsfp']['warm_speedup']}x / "
+          f"seu {csim['seu']['speedup']}x)")
     return 0
 
 

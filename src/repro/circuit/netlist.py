@@ -107,6 +107,9 @@ class Circuit:
         self._fanout_cache: dict[str, tuple[str, ...]] | None = None
         self._topo_index_cache: dict[str, int] | None = None
         self._cone_cache: dict[tuple[str, ...], list[Gate]] = {}
+        # compiled simulation programs (repro.sim.compiled), keyed by
+        # program kind; invalidated with the structural caches above
+        self._program_cache: dict = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -167,16 +170,20 @@ class Circuit:
         state["_fanout_cache"] = None
         state["_topo_index_cache"] = None
         state["_cone_cache"] = {}
+        state["_program_cache"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        # snapshots pickled before the compiled core existed lack the slot
+        self.__dict__.setdefault("_program_cache", {})
 
     def _invalidate(self) -> None:
         self._topo_cache = None
         self._fanout_cache = None
         self._topo_index_cache = None
         self._cone_cache.clear()
+        self._program_cache.clear()
 
     # ------------------------------------------------------------------
     # structure queries

@@ -40,6 +40,14 @@ class PpsfpBackend:
     wins).  The fan-out-cone cache on the circuit makes repeat visits to
     a fault site O(1), so batches after the first cost a dict lookup per
     surviving fault instead of a BFS plus a topo-order scan.
+
+    Large pattern payloads ship via the engine's temp-file channel: when
+    the pickled batches cross :data:`repro.engine.executors
+    .SHIP_BYTES_MIN`, ``__getstate__`` parks them once in a
+    :class:`~repro.engine.executors.ShippedBlob` and every subsequent
+    pickle of the backend (probe, campaign payload, thread fallback)
+    carries only the file reference; workers reload them lazily in
+    ``prepare()``.
     """
 
     name = "ppsfp"
@@ -64,13 +72,17 @@ class PpsfpBackend:
         self.drop_detected = drop_detected
         self._goods: list[tuple[dict[str, int], int]] = []
         self._offsets: list[int] = []
-        self._observe: list[str] = []
+        self._observe: tuple[str, ...] = ()
+        self._batches_blob = None  # ShippedBlob once patterns ship
+        self._ship_memo: tuple | None = None  # (src, len, blob) — parent only
         self.n_patterns = sum(n for _, n in batches)
 
     def enumerate_points(self) -> Sequence[StuckAtFault]:
         return self.faults
 
     def prepare(self) -> None:
+        if self.batches is None:  # shipped patterns: load once per worker
+            self.batches = self._batches_blob.load()
         if self._goods:  # idempotent: re-run per process-pool worker
             return
         self._goods, self._offsets, _ = _batch_goods(
@@ -79,11 +91,39 @@ class PpsfpBackend:
 
     def __getstate__(self) -> dict:
         """Prepared state (good-machine values, observe list) is dropped:
-        process-pool workers rebuild it via their own ``prepare()``."""
+        process-pool workers rebuild it via their own ``prepare()``.
+
+        Pattern batches past the shipping threshold are parked in a temp
+        file once and replaced by the blob reference.  The ship verdict
+        (including "too small") is memoized against the batches object
+        and its length, so repeated pickles of the same backend — probe,
+        payload, thread fallback — neither re-measure nor re-park, while
+        replacing or resizing ``batches`` re-ships fresh patterns
+        instead of forwarding a stale snapshot.  (In-place mutation of
+        an individual pattern dict is not detected — batches are
+        treated as frozen once a campaign has pickled them.)"""
+        from .executors import ship_if_large
+
         state = self.__dict__.copy()
         state["_goods"] = []
         state["_offsets"] = []
-        state["_observe"] = []
+        state["_observe"] = ()
+        state["_ship_memo"] = None  # parent-side memo never travels
+        batches = self.batches
+        if batches is None:  # unprepared clone: forward the blob as-is
+            return state
+        memo = self._ship_memo
+        if memo is not None and memo[0] is batches and memo[1] == len(batches):
+            blob = memo[2]
+        else:
+            blob, _ = ship_if_large(batches)
+            self._ship_memo = (batches, len(batches), blob)
+            self._batches_blob = blob
+        if blob is not None:
+            state["batches"] = None
+            state["_batches_blob"] = blob
+        else:
+            state["_batches_blob"] = None
         return state
 
     def run_batch(self, points: Sequence[StuckAtFault]) -> list[Injection]:

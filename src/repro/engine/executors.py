@@ -61,6 +61,14 @@ EXECUTOR_CHOICES = ("auto", "serial", "thread", "process")
 MIN_BATCH_COST_S = 0.002
 MIN_CAMPAIGN_COST_S = 0.25
 
+# Minimum speedup of the 2-thread concurrency probe (two chunks on two
+# threads vs twice the warm serial chunk cost) for the auto probe to
+# pick the thread executor.  Pure-Python batches hold the GIL, so two
+# threads serialize (probe speedup ~1.0) and threads only add contention
+# — BENCH measured thread_x4 at 0.82x serial on such backends; batches
+# that release the GIL (I/O, native extensions) probe near 2.0.
+GIL_RELEASE_MIN = 1.25
+
 _MASK64 = (1 << 64) - 1
 
 
@@ -98,6 +106,109 @@ def _window(workers: int) -> int:
     return max(4, 2 * workers)
 
 
+# ----------------------------------------------------------------------
+# shared shipping of large payloads: pattern batches park in one temp
+# file instead of being re-pickled into every campaign payload
+# ----------------------------------------------------------------------
+#: Pickled payloads at or past this size ship via temp file (bytes).
+SHIP_BYTES_MIN = 1 << 18
+
+_blob_tokens = itertools.count(1)
+_blob_paths: set[str] = set()
+_blob_cache: dict[tuple[int, str], Any] = {}
+_BLOB_CACHE_MAX = 4  # loaded blobs kept per process (LRU)
+_MISSING = object()
+
+
+class ShippedBlob:
+    """A large pickled value parked once in a temp file.
+
+    Created in the campaign parent (typically from a backend's
+    ``__getstate__`` when its pattern payload crosses
+    :data:`SHIP_BYTES_MIN`); pickles as just ``(token, path, nbytes)``.
+    Receiving processes :meth:`load` the value lazily on first use and
+    memoize it in a small per-process cache keyed by ``(token, path)``,
+    so a persistent-pool worker that runs many chunks of the same
+    campaign unpickles the patterns once.  The creating process keeps
+    the value in memory (its ``load`` never touches the file) and owns
+    the file: it is unlinked when the blob is garbage collected, closed,
+    or at interpreter exit.
+    """
+
+    def __init__(self, value: Any, data: bytes | None = None) -> None:
+        if data is None:
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, path = tempfile.mkstemp(prefix="repro-engine-blob-",
+                                    suffix=".pkl")
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        self.token = next(_blob_tokens)
+        self.path = path
+        self.nbytes = len(data)
+        self._value = value
+        self._owner = True
+        _blob_paths.add(path)
+
+    def load(self) -> Any:
+        """The shipped value (from memory, cache, or the file)."""
+        if self._value is not _MISSING:
+            return self._value
+        key = (self.token, self.path)
+        value = _blob_cache.pop(key, _MISSING)
+        if value is _MISSING:
+            with open(self.path, "rb") as fh:
+                value = pickle.load(fh)
+            while len(_blob_cache) >= _BLOB_CACHE_MAX:
+                _blob_cache.pop(next(iter(_blob_cache)))
+        _blob_cache[key] = value  # (re)insert at the end: LRU refresh
+        return value
+
+    def close(self) -> None:
+        """Unlink the backing file (owner side only; idempotent)."""
+        if self._owner:
+            self._owner = False
+            _blob_paths.discard(self.path)
+            try:
+                os.unlink(self.path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        self.close()
+
+    def __getstate__(self) -> dict:
+        return {"token": self.token, "path": self.path,
+                "nbytes": self.nbytes}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._value = _MISSING
+        self._owner = False
+
+
+def ship_if_large(value: Any, threshold: int | None = None):
+    """Return ``(blob, data)``: a :class:`ShippedBlob` when ``value``
+    pickles to at least ``threshold`` (default :data:`SHIP_BYTES_MIN`)
+    bytes, else ``(None, data)`` with the pickle for inline embedding."""
+    data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    limit = SHIP_BYTES_MIN if threshold is None else threshold
+    if len(data) >= limit:
+        return ShippedBlob(value, data), data
+    return None, data
+
+
+def _cleanup_blobs() -> None:  # pragma: no cover - interpreter exit
+    for path in list(_blob_paths):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    _blob_paths.clear()
+
+
+atexit.register(_cleanup_blobs)
+
+
 @dataclass
 class ExecutorPlan:
     """Resolved execution strategy for one campaign.
@@ -115,12 +226,54 @@ class ExecutorPlan:
     probe_batches: list | None = None
 
 
+def _thread_or_serial(backend: Any, chunks: Sequence[Sequence[Any]],
+                      seeds: Sequence[int], reason: str,
+                      probe_batches: list) -> ExecutorPlan:
+    """Decide thread vs serial for a campaign the process pool rejected.
+
+    Thread pools only beat serial when batches release the GIL; on
+    pure-Python CPU-bound backends they merely add contention (BENCH:
+    thread_x4 at 0.82x serial).  The probe re-times one chunk serially
+    (warm — chunk 0's timing includes first-use cache building) and then
+    runs two chunks on two threads: genuine parallelism shows a ~2x
+    speedup, GIL-bound batches ~1x.  Every probed chunk is handed back
+    in ``probe_batches`` for in-order accounting, exactly once.
+    """
+    done = len(probe_batches)
+    if len(chunks) - done < 3:
+        return ExecutorPlan(
+            "serial", f"{reason}; too few chunks left to overlap threads",
+            probe_batches=probe_batches)
+    t0 = time.perf_counter()
+    probe_batches.append(execute_chunk(backend, chunks[done], seeds[done]))
+    warm_batch = time.perf_counter() - t0
+    pool = ThreadPoolExecutor(max_workers=2)
+    t0 = time.perf_counter()
+    futures = [pool.submit(execute_chunk, backend, chunks[i], seeds[i])
+               for i in (done + 1, done + 2)]
+    probe_batches.extend(f.result() for f in futures)
+    paired = time.perf_counter() - t0
+    pool.shutdown()
+    speedup = (2 * warm_batch) / paired if paired > 0 else 2.0
+    if speedup < GIL_RELEASE_MIN:
+        return ExecutorPlan(
+            "serial",
+            f"{reason}; 2-thread probe {speedup:.2f}x: batches hold the GIL",
+            probe_batches=probe_batches)
+    return ExecutorPlan(
+        "thread", f"{reason}; 2-thread probe {speedup:.2f}x",
+        probe_batches=probe_batches)
+
+
 def plan_executor(backend: Any, chunks: Sequence[Sequence[Any]],
                   config: Any, seeds: Sequence[int]) -> ExecutorPlan:
     """Resolve ``config.executor`` to a concrete strategy.
 
     Explicit choices pass through untouched; ``auto`` probes and falls
-    back with a reason instead of crashing.
+    back with a reason instead of crashing.  Campaigns the process pool
+    cannot take (cheap batches, little work, unpicklable backend) are
+    further probed for GIL release before threads are chosen — a thread
+    pool over GIL-bound batches is slower than the serial loop.
     """
     choice = getattr(config, "executor", "auto")
     if choice != "auto":  # validated by EngineConfig.__post_init__
@@ -137,24 +290,24 @@ def plan_executor(backend: Any, chunks: Sequence[Sequence[Any]],
     per_batch = time.perf_counter() - t0
     remaining = per_batch * (len(chunks) - 1)
     if per_batch < MIN_BATCH_COST_S:
-        return ExecutorPlan(
-            "thread",
+        return _thread_or_serial(
+            backend, chunks, seeds,
             f"per-batch cost {per_batch * 1e3:.2f}ms below process dispatch "
-            "overhead", probe_batches=[batch0])
+            "overhead", [batch0])
     if remaining < MIN_CAMPAIGN_COST_S:
-        return ExecutorPlan(
-            "thread",
+        return _thread_or_serial(
+            backend, chunks, seeds,
             f"~{remaining * 1e3:.0f}ms of work left: too small to amortise "
-            "process spawn", probe_batches=[batch0])
+            "process spawn", [batch0])
     # backends drop prepared state on pickling, so probing before the
     # dumps does not bloat the payload
     try:
         payload = pickle.dumps((backend, chunks, list(seeds)),
                                protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:  # pickle raises many types (Pickling, Type, ...)
-        return ExecutorPlan(
-            "thread", f"backend not picklable ({type(exc).__name__}: {exc})",
-            probe_batches=[batch0])
+        return _thread_or_serial(
+            backend, chunks, seeds,
+            f"backend not picklable ({type(exc).__name__}: {exc})", [batch0])
     return ExecutorPlan(
         "process",
         f"picklable backend, {per_batch * 1e3:.1f}ms/batch x "

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from ..circuit.netlist import Circuit
+from ..sim import compiled as _compiled
 from ..sim.logic import mask_of, simulate
 from ..sim.sequential import SequentialSim
 from .core import _chunked
@@ -100,6 +101,27 @@ class LaneContext:
     def n_cycles(self) -> int:
         return len(self.rep_stimuli)
 
+    # Raw views aligned with the circuit's compiled StepProgram slots
+    # (stimulus/trace/state tuples instead of dicts), built lazily on
+    # the first compiled propagation and dropped if the program cache is
+    # invalidated.  They let `propagate` drive the generated step
+    # function directly — per-cycle dict packing/unpacking disappears.
+    def raw_views(self, program) -> tuple:
+        cached = getattr(self, "_raw", None)
+        if cached is not None and cached[0] is program:
+            return cached[1:]
+        stim = [tuple(cyc.get(pi, 0) for pi in program.inputs)
+                for cyc in self.rep_stimuli]
+        trace = [tuple(cyc[po] for po in program.outputs)
+                 for cyc in self.rep_trace]
+        mask = self.mask
+        states = [tuple(mask if st[q] else 0 for q in program.flop_qs)
+                  for st in self.states]
+        final = tuple(mask if self.final_state[q] else 0
+                      for q in program.flop_qs)
+        self._raw = (program, stim, trace, states, final)
+        return stim, trace, states, final
+
 
 def build_context(
     circuit: Circuit,
@@ -160,6 +182,31 @@ def propagate(ctx: LaneContext, flips: Mapping[int, Mapping[str, int]],
     """
     mask = ctx.mask
     lanes = mask_of(n_lanes)
+    program = _compiled.step_program(ctx.circuit)
+    if program is not None:
+        # compiled fast path: drive the generated step function on raw
+        # slot tuples — flips XOR into state slots by index, outputs
+        # compare against the replicated golden trace tuple-to-tuple
+        stim, trace, states, final = ctx.raw_views(program)
+        q_index = program.q_index
+        fn = program.program.fn
+        state = states[start]
+        fail = 0
+        for cyc in range(start, ctx.n_cycles):
+            cyc_flips = flips.get(cyc)
+            if cyc_flips:
+                slots = list(state)
+                for q, lane_mask in cyc_flips.items():
+                    slots[q_index[q]] ^= lane_mask & mask
+                state = tuple(slots)
+            out, state = fn(stim[cyc], state, mask)
+            for val, golden in zip(out, trace[cyc]):
+                fail |= val ^ golden
+        diff = 0
+        for val, golden in zip(state, final):
+            diff |= val ^ golden
+        fail &= lanes
+        return fail, diff & lanes & ~fail
     sim = SequentialSim(ctx.circuit, ctx.width)
     for q, bit in ctx.states[start].items():
         sim.state[q] = mask if bit else 0

@@ -1,0 +1,584 @@
+"""Compiled-circuit simulation: codegen'd slot-indexed evaluation.
+
+The reference interpreter in :mod:`repro.sim.logic` re-walks the netlist
+gate-by-gate on every evaluation: a dict lookup on the dispatch table, a
+Python call per gate, and a string-keyed dict read per gate input.  At
+campaign scale that interpretive overhead *is* the simulation cost — the
+bitwise work itself is a handful of C-level big-int ops.
+
+This module translates a levelized :class:`~repro.circuit.netlist
+.Circuit` into one generated Python function: every net becomes a local
+variable slot, every gate one straight-line bitwise expression, constants
+and buffers are folded into their consumers, and PI/flop loads and
+result stores are vectorized through tuples.  CPython then executes the
+whole circuit as consecutive ``LOAD_FAST``/``BINARY_OP`` bytecodes — no
+per-gate dispatch, no per-input hashing.
+
+Three program shapes cover every evaluation path in the toolkit:
+
+* :class:`CircuitProgram` — the full combinational evaluation behind
+  :func:`repro.sim.logic.simulate`; returns packed values for every net.
+* :class:`ConeProgram`  — a per-fault-site sub-program re-simulating only
+  the fan-out cone of a stuck-at line, for :mod:`repro.sim.fault_sim`'s
+  PPSFP inner loop.  Cached per site, like the interpreter's cone lists.
+* :class:`StepProgram`  — a fused combinational-eval + flop-advance step
+  for :class:`repro.sim.sequential.SequentialSim`, restricted to the
+  cone of influence of the observable nets (POs and flop D inputs).
+
+Programs are **byte-identical** to the interpreter at any pattern width:
+each generated expression is the same boolean function the dispatch
+table computes, so every net value, detection mask and campaign outcome
+matches bit for bit.  Set ``RESCUE_NO_COMPILE=1`` (or pass
+``compile=False`` to the entry points) to force the reference
+interpreter — the equivalence tests in ``tests/test_compiled.py`` run
+both paths against each other.
+
+Caching and invalidation: programs are memoized in
+``Circuit._program_cache`` and invalidated by ``Circuit._invalidate``
+alongside the topo/fan-out/cone caches, so any mutation recompiles.
+Pickling: a program carries only its *source*; the code object is
+rebuilt lazily on first call in the receiving process (the same
+cache-drop pattern ``Circuit.__getstate__`` uses), so compiled backends
+ship to process-pool workers unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
+
+from ..circuit.netlist import Circuit, Gate, GateType
+
+#: Environment kill switch: set to anything but ""/"0" to force the
+#: reference interpreter everywhere (benchmark baselines, debugging).
+ENV_FLAG = "RESCUE_NO_COMPILE"
+
+#: Per-site programs (cones, detection) compile only after this many
+#: (weighted) evaluations of the same site.  Codegen plus ``compile()``
+#: costs roughly 15-20 interpreted evaluations of the same cone, so
+#: one-shot and small batched fault simulations stay entirely on the
+#: interpreter, while campaign workloads — which revisit every
+#: surviving site per pattern batch, per cycle, or per campaign sweep —
+#: cross the threshold and settle into compiled steady state.
+#: Per-circuit programs (full evaluation, step) are compiled eagerly:
+#: they amortize over every evaluation of the circuit.  Tests and
+#: benchmarks set this to 0 to force the compiled path from the first
+#: call.
+COMPILE_AFTER_HITS = 20
+
+
+# The flag is read once at import (and kept in sync by ``disabled()``):
+# probing os.environ on every evaluation showed up in PPSFP profiles.
+_ENV_DISABLED = os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+def compilation_enabled() -> bool:
+    """Is compiled evaluation globally enabled (env kill switch unset)?"""
+    return not _ENV_DISABLED
+
+
+def _active(enable: bool | None) -> bool:
+    """Resolve a per-call ``compile=`` flag against the env switch.
+
+    ``False`` always forces the interpreter; ``True``/``None`` use the
+    compiled path unless ``RESCUE_NO_COMPILE`` vetoes it (the env var is
+    the emergency brake and wins over per-call requests).
+    """
+    return enable is not False and compilation_enabled()
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Force the reference interpreter within the block (tests, benches).
+
+    The env var is set as well so worker processes spawned inside the
+    block inherit the interpreter mode.
+    """
+    global _ENV_DISABLED
+    old_env = os.environ.get(ENV_FLAG)
+    old_flag = _ENV_DISABLED
+    os.environ[ENV_FLAG] = "1"
+    _ENV_DISABLED = True
+    try:
+        yield
+    finally:
+        _ENV_DISABLED = old_flag
+        if old_env is None:
+            os.environ.pop(ENV_FLAG, None)
+        else:
+            os.environ[ENV_FLAG] = old_env
+
+
+# ----------------------------------------------------------------------
+# source generation
+# ----------------------------------------------------------------------
+def _tuple_expr(atoms: Sequence[str]) -> str:
+    return "(" + "".join(a + "," for a in atoms) + ")"
+
+
+def _gate_expr(gate: Gate, atoms: Mapping[str, str]) -> str:
+    """One bitwise expression for ``gate`` over already-bound atoms.
+
+    Atoms are simple tokens (local slots, ``0``, ``mask``), so the
+    expressions need no inner parentheses beyond the inverting wrap.
+    """
+    gtype = gate.gtype
+    ins = [atoms[name] for name in gate.inputs]
+    if gtype is GateType.AND:
+        return " & ".join(ins)
+    if gtype is GateType.NAND:
+        return f"~({' & '.join(ins)}) & mask"
+    if gtype is GateType.OR:
+        return " | ".join(ins)
+    if gtype is GateType.NOR:
+        return f"~({' | '.join(ins)}) & mask"
+    if gtype is GateType.XOR:
+        return " ^ ".join(ins)
+    if gtype is GateType.XNOR:
+        return f"~({' ^ '.join(ins)}) & mask"
+    if gtype is GateType.NOT:
+        return f"~{ins[0]} & mask"
+    raise AssertionError(f"unexpected gate type {gtype}")  # folded kinds
+
+
+class _Emitter:
+    """Shared codegen state: slot allocation, atom binding, gate lines."""
+
+    def __init__(self) -> None:
+        self.atoms: dict[str, str] = {}
+        self.lines: list[str] = []
+        self._slots = itertools.count()
+
+    def slot(self) -> str:
+        return f"v{next(self._slots)}"
+
+    def bind_sources(self, nets: Sequence[str]) -> list[str]:
+        """Allocate one slot per source net (PI / flop Q tuple unpack)."""
+        slots = []
+        for net in nets:
+            slot = self.slot()
+            self.atoms[net] = slot
+            slots.append(slot)
+        return slots
+
+    def emit_gate(self, gate: Gate,
+                  atoms: Mapping[str, str] | None = None) -> None:
+        """Emit ``gate`` as one line; fold constants and buffers into
+        atoms so consumers reference them directly (no assignment)."""
+        gtype = gate.gtype
+        if gtype is GateType.CONST0:
+            self.atoms[gate.output] = "0"
+            return
+        if gtype is GateType.CONST1:
+            self.atoms[gate.output] = "mask"
+            return
+        src = atoms if atoms is not None else self.atoms
+        if gtype is GateType.BUF:
+            self.atoms[gate.output] = src[gate.inputs[0]]
+            return
+        slot = self.slot()
+        self.lines.append(f"    {slot} = {_gate_expr(gate, src)}")
+        self.atoms[gate.output] = slot
+
+    def source(self, header: str, unpacks: Sequence[tuple[str, Sequence[str]]],
+               ret: str) -> str:
+        parts = [header]
+        for arg, slots in unpacks:
+            if slots:
+                parts.append(f"    {_tuple_expr(slots)} = {arg}")
+        parts.extend(self.lines)
+        parts.append(f"    return {ret}")
+        return "\n".join(parts) + "\n"
+
+
+class CompiledProgram:
+    """Generated source plus a lazily-(re)built code object.
+
+    Only ``source`` travels through pickle; the function is recompiled
+    on first call in the receiving process, mirroring how ``Circuit``
+    drops its memoized caches on serialization.
+    """
+
+    __slots__ = ("source", "name", "_fn")
+
+    def __init__(self, source: str, name: str) -> None:
+        self.source = source
+        self.name = name
+        self._fn = None
+
+    @property
+    def fn(self):
+        fn = self._fn
+        if fn is None:
+            namespace: dict = {}
+            exec(compile(self.source, f"<compiled:{self.name}>", "exec"),
+                 namespace)
+            fn = self._fn = namespace["_run"]
+        return fn
+
+    def __getstate__(self) -> tuple[str, str]:
+        return (self.source, self.name)
+
+    def __setstate__(self, state: tuple[str, str]) -> None:
+        self.source, self.name = state
+        self._fn = None
+
+
+# ----------------------------------------------------------------------
+# full-circuit program (logic.simulate)
+# ----------------------------------------------------------------------
+class CircuitProgram:
+    """Full combinational evaluation: ``fn(pis, state, mask)`` returns
+    packed values for every net, in the interpreter's insertion order."""
+
+    __slots__ = ("inputs", "flop_inits", "net_names", "program")
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.inputs = tuple(circuit.inputs)
+        self.flop_inits = tuple((q, f.init) for q, f in circuit.flops.items())
+        emit = _Emitter()
+        pi_slots = emit.bind_sources(self.inputs)
+        q_slots = emit.bind_sources(list(circuit.flops))
+        order = circuit.topo_order()
+        for gate in order:
+            emit.emit_gate(gate)
+        names = (list(self.inputs) + list(circuit.flops)
+                 + [g.output for g in order])
+        self.net_names = tuple(names)
+        ret = _tuple_expr([emit.atoms[n] for n in names])
+        source = emit.source("def _run(pis, state, mask):",
+                             [("pis", pi_slots), ("state", q_slots)], ret)
+        self.program = CompiledProgram(source, f"full:{circuit.name}")
+
+    def run(self, pi_values: Mapping[str, int], n_patterns: int,
+            state: Mapping[str, int] | None = None) -> dict[str, int]:
+        mask = (1 << n_patterns) - 1
+        pis = tuple(pi_values.get(pi, 0) & mask for pi in self.inputs)
+        if state is None:
+            flop_state = tuple(mask if init else 0
+                               for _, init in self.flop_inits)
+        else:
+            flop_state = tuple(
+                (state[q] & mask) if q in state else (mask if init else 0)
+                for q, init in self.flop_inits)
+        return dict(zip(self.net_names, self.program.fn(pis, flop_state,
+                                                        mask)))
+
+
+# ----------------------------------------------------------------------
+# fused sequential step (SequentialSim.step)
+# ----------------------------------------------------------------------
+class StepProgram:
+    """One clock: ``fn(pis, state, mask)`` returns ``(po_values,
+    next_state)`` tuples.  Only gates in the cone of influence of the
+    observables (POs and flop D inputs) are evaluated — dead logic
+    cannot change either return value."""
+
+    __slots__ = ("inputs", "flop_qs", "flop_inits", "outputs", "q_index",
+                 "program")
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.inputs = tuple(circuit.inputs)
+        self.flop_qs = tuple(circuit.flops)
+        self.flop_inits = tuple(f.init for f in circuit.flops.values())
+        self.outputs = tuple(circuit.outputs)
+        self.q_index = {q: i for i, q in enumerate(self.flop_qs)}
+        needed: set[str] = set()
+        work = list(self.outputs) + [f.d for f in circuit.flops.values()]
+        gates = circuit.gates
+        while work:
+            net = work.pop()
+            if net in needed:
+                continue
+            needed.add(net)
+            gate = gates.get(net)
+            if gate is not None:
+                work.extend(gate.inputs)
+        emit = _Emitter()
+        pi_slots = emit.bind_sources(self.inputs)
+        q_slots = emit.bind_sources(self.flop_qs)
+        for gate in circuit.topo_order():
+            if gate.output in needed:
+                emit.emit_gate(gate)
+        po_atoms = [emit.atoms[po] for po in self.outputs]
+        d_atoms = [emit.atoms[f.d] for f in circuit.flops.values()]
+        ret = f"({_tuple_expr(po_atoms)}, {_tuple_expr(d_atoms)},)"
+        source = emit.source("def _run(pis, state, mask):",
+                             [("pis", pi_slots), ("state", q_slots)], ret)
+        self.program = CompiledProgram(source, f"step:{circuit.name}")
+
+    def run(self, pi_values: Mapping[str, int], state: Mapping[str, int],
+            mask: int) -> tuple[dict[str, int], dict[str, int]]:
+        pis = tuple(pi_values.get(pi, 0) & mask for pi in self.inputs)
+        # flops absent from the state dict fall back to their init value,
+        # exactly like the interpreter's simulate()
+        flop_state = tuple(
+            (state[q] & mask) if q in state else (mask if init else 0)
+            for q, init in zip(self.flop_qs, self.flop_inits))
+        pos, nxt = self.program.fn(pis, flop_state, mask)
+        return dict(zip(self.outputs, pos)), dict(zip(self.flop_qs, nxt))
+
+
+# ----------------------------------------------------------------------
+# per-fault-site cone sub-programs (fault_sim PPSFP inner loop)
+# ----------------------------------------------------------------------
+class ConeProgram:
+    """Re-simulation of one fault site's fan-out cone.
+
+    ``fn(good, forced, mask)`` loads the cone's external inputs from the
+    good-machine dict once, evaluates the cone straight-line with the
+    faulty line forced, and returns the recomputed gate outputs in topo
+    order; :meth:`apply` folds them back into the complete
+    ``faulty_values`` mapping.  (Detection has its own fused program —
+    :class:`DetProgram` — that never materializes the dict.)
+    """
+
+    __slots__ = ("program", "out_names", "stem")
+
+    def __init__(self, program: CompiledProgram, out_names: tuple[str, ...],
+                 stem: str | None) -> None:
+        self.program = program
+        self.out_names = out_names
+        self.stem = stem
+
+    def apply(self, good: Mapping[str, int], forced: int,
+              mask: int) -> dict[str, int]:
+        """The full faulty-machine dict (interpreter-identical)."""
+        values = dict(good)
+        if self.stem is not None:
+            values[self.stem] = forced
+        for net, val in zip(self.out_names,
+                            self.program.fn(good, forced, mask)):
+            values[net] = val
+        return values
+
+
+class DetProgram:
+    """Fault detection fused into the cone: ``fn(good, forced, mask)``
+    returns the detection bitmask directly.
+
+    The generated function loads the cone's external inputs once,
+    evaluates only the cone gates with observable influence (gates whose
+    output reaches no observation point are pruned at codegen time), and
+    ORs the good-vs-faulty XOR of every observed cone net inline — the
+    full faulty dict, the observation loop, and the result tuple all
+    disappear.  This is the PPSFP inner loop.
+    """
+
+    __slots__ = ("program",)
+
+    def __init__(self, program: CompiledProgram) -> None:
+        self.program = program
+
+
+def _gather_cone(circuit: Circuit, site: str,
+                 shadow_sink: str | None) -> list[Gate]:
+    """The site's cone gates in topo order, minus a stem's own driver."""
+    from .fault_sim import _cone_gates  # lazy: fault_sim imports us
+
+    start = site if shadow_sink is None else shadow_sink
+    cone = _cone_gates(circuit, [start])
+    if shadow_sink is None:
+        cone = [g for g in cone if g.output != site]
+    return cone
+
+
+def _emit_cone(emit: _Emitter, cone: Sequence[Gate], site: str,
+               shadow_sink: str | None, loads: list[str]) -> None:
+    """Emit cone gates; externals read from ``good``, the faulty line
+    reads ``forced`` (everywhere for a stem, only inside the branch
+    sink's expression for a branch).
+
+    Externals referenced more than once are hoisted into one load line;
+    single-use externals are inlined as ``good['net']`` subscripts right
+    in the consuming expression — roughly half of a cone program's lines
+    are external reads, so inlining nearly halves codegen+compile cost.
+    """
+    counts: dict[str, int] = {}
+    for gate in cone:
+        for net in gate.inputs:
+            counts[net] = counts.get(net, 0) + 1
+
+    def atom(net: str) -> str:
+        slot = emit.atoms.get(net)
+        if slot is not None:
+            return slot
+        if counts.get(net, 0) <= 1:
+            return f"good[{net!r}]"
+        slot = emit.slot()
+        loads.append(f"    {slot} = good[{net!r}]")
+        emit.atoms[net] = slot
+        return slot
+
+    if shadow_sink is None:
+        emit.atoms[site] = "forced"
+    for gate in cone:
+        is_shadow = gate.output == shadow_sink
+        src = {net: ("forced" if is_shadow and net == site else atom(net))
+               for net in gate.inputs}
+        emit.emit_gate(gate, src)
+
+
+def _build_det_program(circuit: Circuit, site: str, shadow_sink: str | None,
+                       observe: Sequence[str]) -> DetProgram:
+    observed = set(observe)
+    cone = _gather_cone(circuit, site, shadow_sink)
+    # observability pruning: walk the cone in reverse topo order keeping
+    # only gates that feed an observation point (directly or through a
+    # kept gate) — the rest cannot contribute a detection bit
+    needed: set[str] = set()
+    kept: list[Gate] = []
+    for gate in reversed(cone):
+        if gate.output in observed or gate.output in needed:
+            kept.append(gate)
+            needed.update(gate.inputs)
+    kept.reverse()
+    emit = _Emitter()
+    loads: list[str] = []
+    _emit_cone(emit, kept, site, shadow_sink, loads)
+    recomputed = {gate.output for gate in kept}
+    terms: list[str] = []
+    for net in dict.fromkeys(observe):  # dedup, order-preserving
+        if shadow_sink is None and net == site:
+            terms.append(f"(good.get({net!r}, 0) ^ forced)")
+            continue
+        if net not in recomputed:
+            continue  # untouched by the fault: XOR contributes nothing
+        terms.append(f"(good.get({net!r}, 0) ^ {emit.atoms[net]})")
+    emit.lines = loads + emit.lines
+    ret = f"({' | '.join(terms)}) & mask" if terms else "0"
+    source = emit.source("def _run(good, forced, mask):", [], ret)
+    name = f"det:{circuit.name}:{site}" + (f"->{shadow_sink}"
+                                           if shadow_sink else "")
+    return DetProgram(CompiledProgram(source, name))
+
+
+def _build_cone_program(circuit: Circuit, site: str,
+                        shadow_sink: str | None) -> ConeProgram:
+    """Codegen the cone of ``site``.
+
+    With ``shadow_sink`` (a branch fault into gate ``shadow_sink``), only
+    that gate sees ``forced`` on the branched net — everything else reads
+    the good value, exactly like the interpreter's shadow dict.  Without
+    it (a stem fault), the site net itself is ``forced`` everywhere and
+    its own driver is skipped.
+    """
+    cone = _gather_cone(circuit, site, shadow_sink)
+    emit = _Emitter()
+    loads: list[str] = []
+    _emit_cone(emit, cone, site, shadow_sink, loads)
+    out_names = [gate.output for gate in cone]
+    emit.lines = loads + emit.lines
+    ret = _tuple_expr([emit.atoms[n] for n in out_names])
+    source = emit.source("def _run(good, forced, mask):", [], ret)
+    program = CompiledProgram(
+        source, f"cone:{circuit.name}:{site}"
+        + (f"->{shadow_sink}" if shadow_sink else ""))
+    return ConeProgram(program, tuple(out_names),
+                       site if shadow_sink is None else None)
+
+
+# ----------------------------------------------------------------------
+# per-circuit caches (invalidated with the topo/cone caches)
+# ----------------------------------------------------------------------
+def _cache(circuit: Circuit) -> dict:
+    cache = getattr(circuit, "_program_cache", None)
+    if cache is None:  # circuits unpickled from pre-cache snapshots
+        cache = circuit._program_cache = {}
+    return cache
+
+
+def circuit_program(circuit: Circuit,
+                    enable: bool | None = None) -> CircuitProgram | None:
+    """The full-circuit program, or ``None`` when compilation is off."""
+    if not _active(enable):
+        return None
+    cache = _cache(circuit)
+    prog = cache.get("full")
+    if prog is None:
+        prog = cache["full"] = CircuitProgram(circuit)
+    return prog
+
+
+def step_program(circuit: Circuit,
+                 enable: bool | None = None) -> StepProgram | None:
+    """The fused step program, or ``None`` when compilation is off."""
+    if not _active(enable):
+        return None
+    cache = _cache(circuit)
+    prog = cache.get("step")
+    if prog is None:
+        prog = cache["step"] = StepProgram(circuit)
+    return prog
+
+
+def _counted(cache: dict, key, build, weight: int = 1):
+    """Hit-gated memoization: interpret the first ``COMPILE_AFTER_HITS``
+    requests (returning ``None``), then compile and cache.  Entries are
+    the hit count while cold, the program once hot.  ``weight`` lets a
+    caller that already knows it will evaluate the site many times (a
+    no-dropping batched sweep) count all those evaluations up front."""
+    entry = cache.get(key)
+    if entry is not None and not isinstance(entry, int):
+        return entry
+    hits = (entry or 0) + weight
+    if hits > COMPILE_AFTER_HITS:
+        prog = cache[key] = build()
+        return prog
+    cache[key] = hits
+    return None
+
+
+def _site_of(circuit: Circuit, line) -> tuple[str, str | None] | None:
+    """Resolve a fault line to ``(site, shadow_sink)`` or ``None`` when
+    it has no combinational cone (a branch into a flop D pin — the
+    interpreter handles that case with a single dict entry)."""
+    if line.is_stem:
+        return line.net, None
+    if line.sink in circuit.gates:
+        return line.net, line.sink
+    return None
+
+
+def cone_program(circuit: Circuit, line, enable: bool | None = None,
+                 weight: int = 1) -> ConeProgram | None:
+    """The faulty-values cone sub-program for fault site ``line``.
+
+    ``None`` when compilation is off, the site has no combinational
+    cone, or the site has not been evaluated often enough yet to
+    amortize compilation (``COMPILE_AFTER_HITS``); ``weight`` is the
+    number of evaluations the caller is about to perform.
+    """
+    if not _active(enable):
+        return None
+    resolved = _site_of(circuit, line)
+    if resolved is None:
+        return None
+    site, shadow_sink = resolved
+    return _counted(_cache(circuit), ("cone", site, shadow_sink),
+                    lambda: _build_cone_program(circuit, site, shadow_sink),
+                    weight)
+
+
+def det_program(circuit: Circuit, line, observe: Sequence[str],
+                enable: bool | None = None,
+                weight: int = 1) -> DetProgram | None:
+    """The detection-fused program for ``line`` under ``observe``.
+
+    Keyed by the observation list as well as the site, since the
+    generated XOR terms bake the observation points in.  Same hit gate
+    and ``None`` conventions as :func:`cone_program`; ``weight`` is the
+    number of evaluations the caller is about to perform.
+    """
+    if not _active(enable):
+        return None
+    resolved = _site_of(circuit, line)
+    if resolved is None:
+        return None
+    site, shadow_sink = resolved
+    return _counted(
+        _cache(circuit), ("det", site, shadow_sink, tuple(observe)),
+        lambda: _build_det_program(circuit, site, shadow_sink, observe),
+        weight)

@@ -16,6 +16,7 @@ from typing import Mapping, Sequence
 
 from ..circuit.netlist import Circuit
 from ..faults.models import Line, StuckAtFault
+from . import compiled as _compiled
 from .logic import GATE_EVAL, eval_gate, mask_of, simulate
 
 
@@ -87,11 +88,13 @@ def _cone_gates(circuit: Circuit, start_nets: Sequence[str]) -> list:
     return cone
 
 
-def _observe_nets(circuit: Circuit, full_scan: bool) -> list[str]:
+def _observe_nets(circuit: Circuit, full_scan: bool) -> tuple[str, ...]:
+    # a tuple: the compiled detection cache keys on it, and tuple(t) on
+    # an existing tuple is identity instead of an O(n) copy
     nets = list(circuit.outputs)
     if full_scan:
         nets.extend(flop.d for flop in circuit.flops.values())
-    return nets
+    return tuple(nets)
 
 
 def faulty_values(
@@ -100,7 +103,27 @@ def faulty_values(
     good: Mapping[str, int],
     mask: int,
 ) -> dict[str, int]:
-    """Packed net values of the faulty machine (only cone nets differ)."""
+    """Packed net values of the faulty machine (only cone nets differ).
+
+    Runs the fault site's compiled cone sub-program once the site is hot
+    (see :mod:`repro.sim.compiled`); the interpreter in
+    :func:`_faulty_values_interp` is the reference path and always
+    handles branch faults into flop D pins, which have no combinational
+    cone.
+    """
+    program = _compiled.cone_program(circuit, fault.line)
+    if program is not None:
+        return program.apply(good, mask if fault.value else 0, mask)
+    return _faulty_values_interp(circuit, fault, good, mask)
+
+
+def _faulty_values_interp(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    good: Mapping[str, int],
+    mask: int,
+) -> dict[str, int]:
+    """Reference interpreter for :func:`faulty_values`."""
     forced = mask if fault.value else 0
     line = fault.line
     values = dict(good)
@@ -142,7 +165,24 @@ def detection_mask(
     observe: Sequence[str],
 ) -> int:
     """Bitmask of patterns under which ``fault`` is observable."""
-    bad = faulty_values(circuit, fault, good, mask)
+    program = _compiled.det_program(circuit, fault.line, observe)
+    if program is not None:
+        # detection-fused fast path: the generated function evaluates
+        # only the observable slice of the cone and returns the mask —
+        # no faulty dict, no observation loop
+        return program.program.fn(good, mask if fault.value else 0, mask)
+    return _detection_mask_interp(circuit, fault, good, mask, observe)
+
+
+def _detection_mask_interp(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    good: Mapping[str, int],
+    mask: int,
+    observe: Sequence[str],
+) -> int:
+    """Reference interpreter for :func:`detection_mask`."""
+    bad = _faulty_values_interp(circuit, fault, good, mask)
     det = 0
     line = fault.line
     for net in observe:
@@ -209,10 +249,32 @@ def _batched_detection(
 
     With ``drop_detected`` the fault stops being re-simulated after the
     first detecting batch — the classic fault-dropping acceleration.
+
+    The compiled detection program is resolved once per fault for the
+    whole sweep — the cache key hashes the observation list, which can
+    be thousands of nets under full scan, so probing it per batch would
+    rival the compiled call itself.  Without dropping the hit counter
+    is bumped by the full batch count up front (every batch will
+    evaluate the fault); with dropping a sweep counts once.  A fault
+    still below the compile threshold runs the interpreter directly,
+    with no further counting this sweep.
     """
     acc = 0
+    program = _compiled.det_program(
+        circuit, fault.line, observe,
+        weight=1 if drop_detected else len(goods))
+    if program is not None:
+        fn = program.program.fn
+        value = fault.value
+        for (good, mask), offset in zip(goods, offsets):
+            det = fn(good, mask if value else 0, mask)
+            if det:
+                acc |= det << offset
+                if drop_detected:
+                    break
+        return acc
     for (good, mask), offset in zip(goods, offsets):
-        det = detection_mask(circuit, fault, good, mask, observe)
+        det = _detection_mask_interp(circuit, fault, good, mask, observe)
         if det:
             acc |= det << offset
             if drop_detected:
@@ -281,11 +343,22 @@ def _seq_trace(
     stimuli: Sequence[Mapping[str, int]],
 ) -> list[tuple[int, ...]]:
     mask = 1
+    # the fault re-simulates once per cycle, so the cone program lookup
+    # is hoisted out of the loop with the cycle count as its weight
+    program = (_compiled.cone_program(circuit, fault.line,
+                                      weight=len(stimuli))
+               if fault is not None else None)
+    forced = (mask if fault.value else 0) if fault is not None else 0
     state = {q: (1 if f.init else 0) for q, f in circuit.flops.items()}
     trace: list[tuple[int, ...]] = []
     for stim in stimuli:
         good = simulate(circuit, stim, 1, state)
-        values = faulty_values(circuit, fault, good, mask) if fault else good
+        if fault is None:
+            values = good
+        elif program is not None:
+            values = program.apply(good, forced, mask)
+        else:  # gated off: stay interpreted (the hoist already counted)
+            values = _faulty_values_interp(circuit, fault, good, mask)
         trace.append(tuple(values.get(po, 0) for po in circuit.outputs))
         next_state = {}
         for q, flop in circuit.flops.items():

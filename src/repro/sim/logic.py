@@ -7,6 +7,12 @@ which makes parallel-pattern fault simulation (PPSFP) essentially free.
 
 Three-valued (0/1/X) simulation encodes each net as ``None`` (X) or an
 ``int`` and powers the ATPG's implication engine and the RSN tools.
+
+Full-circuit evaluations run on the compiled simulation core
+(:mod:`repro.sim.compiled`) by default: the circuit is translated once
+into a generated straight-line function and cached.  The gate-by-gate
+dispatch below remains the reference interpreter — byte-identical, and
+selected by ``RESCUE_NO_COMPILE=1`` or ``compile=False``.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import random
 from typing import Iterable, Mapping, Sequence
 
 from ..circuit.netlist import Circuit, Gate, GateType
+from . import compiled as _compiled
 
 
 def mask_of(n_patterns: int) -> int:
@@ -108,13 +115,21 @@ def simulate(
     pi_values: Mapping[str, int],
     n_patterns: int,
     state: Mapping[str, int] | None = None,
+    compile: bool | None = None,
 ) -> dict[str, int]:
     """One combinational evaluation over packed patterns.
 
     ``pi_values`` maps each primary input to a packed int; ``state`` maps
     flop Q nets to packed ints (defaults to each flop's init value
     replicated across patterns).  Returns packed values for every net.
+
+    Runs on the circuit's compiled program unless ``compile=False`` (or
+    ``RESCUE_NO_COMPILE=1``) selects the reference interpreter; both
+    paths return identical values.
     """
+    program = _compiled.circuit_program(circuit, compile)
+    if program is not None:
+        return program.run(pi_values, n_patterns, state)
     mask = mask_of(n_patterns)
     values: dict[str, int] = {}
     for pi in circuit.inputs:
@@ -179,55 +194,92 @@ def exhaustive_patterns(nets: Sequence[str]) -> tuple[dict[str, int], int]:
 X = None  # the unknown value
 
 
-def _and3(ins: list[int | None]) -> int | None:
-    if any(v == 0 for v in ins):
-        return 0
-    if all(v == 1 for v in ins):
-        return 1
-    return X
+# Like the 2-valued path, 3-valued evaluation dispatches through a
+# module-level table — PODEM's implication engine calls this once per
+# gate per decision, so the if/elif GateType chain was its inner-loop
+# cost.  Handlers short-circuit on controlling values (a 0 input
+# dominates X for AND, a 1 for OR), preserving the reference semantics.
+def _eval3_and(gate: Gate, values: Mapping[str, int | None]) -> int | None:
+    out: int | None = 1
+    for name in gate.inputs:
+        v = values.get(name, X)
+        if v == 0:
+            return 0
+        if v is X:
+            out = X
+    return out
 
 
-def _or3(ins: list[int | None]) -> int | None:
-    if any(v == 1 for v in ins):
-        return 1
-    if all(v == 0 for v in ins):
-        return 0
-    return X
+def _eval3_nand(gate: Gate, values: Mapping[str, int | None]) -> int | None:
+    return _not3(_eval3_and(gate, values))
 
 
-def _xor3(ins: list[int | None]) -> int | None:
-    if any(v is X for v in ins):
-        return X
-    return sum(ins) & 1
+def _eval3_or(gate: Gate, values: Mapping[str, int | None]) -> int | None:
+    out: int | None = 0
+    for name in gate.inputs:
+        v = values.get(name, X)
+        if v == 1:
+            return 1
+        if v is X:
+            out = X
+    return out
+
+
+def _eval3_nor(gate: Gate, values: Mapping[str, int | None]) -> int | None:
+    return _not3(_eval3_or(gate, values))
+
+
+def _eval3_xor(gate: Gate, values: Mapping[str, int | None]) -> int | None:
+    acc = 0
+    for name in gate.inputs:
+        v = values.get(name, X)
+        if v is X:
+            return X
+        acc ^= v
+    return acc
+
+
+def _eval3_xnor(gate: Gate, values: Mapping[str, int | None]) -> int | None:
+    return _not3(_eval3_xor(gate, values))
+
+
+def _eval3_buf(gate: Gate, values: Mapping[str, int | None]) -> int | None:
+    return values.get(gate.inputs[0], X)
+
+
+def _eval3_not(gate: Gate, values: Mapping[str, int | None]) -> int | None:
+    return _not3(values.get(gate.inputs[0], X))
+
+
+def _eval3_const0(gate: Gate, values: Mapping[str, int | None]) -> int | None:
+    return 0
+
+
+def _eval3_const1(gate: Gate, values: Mapping[str, int | None]) -> int | None:
+    return 1
 
 
 def _not3(v: int | None) -> int | None:
     return X if v is X else 1 - v
 
 
+GATE_EVAL_3V = {
+    GateType.AND: _eval3_and,
+    GateType.NAND: _eval3_nand,
+    GateType.OR: _eval3_or,
+    GateType.NOR: _eval3_nor,
+    GateType.XOR: _eval3_xor,
+    GateType.XNOR: _eval3_xnor,
+    GateType.BUF: _eval3_buf,
+    GateType.NOT: _eval3_not,
+    GateType.CONST0: _eval3_const0,
+    GateType.CONST1: _eval3_const1,
+}
+
+
 def eval_gate_3v(gate: Gate, values: Mapping[str, int | None]) -> int | None:
     """Three-valued gate evaluation (controlling values dominate X)."""
-    gtype = gate.gtype
-    if gtype is GateType.CONST0:
-        return 0
-    if gtype is GateType.CONST1:
-        return 1
-    ins = [values.get(i, X) for i in gate.inputs]
-    if gtype is GateType.BUF:
-        return ins[0]
-    if gtype is GateType.NOT:
-        return _not3(ins[0])
-    if gtype is GateType.AND:
-        return _and3(ins)
-    if gtype is GateType.NAND:
-        return _not3(_and3(ins))
-    if gtype is GateType.OR:
-        return _or3(ins)
-    if gtype is GateType.NOR:
-        return _not3(_or3(ins))
-    if gtype is GateType.XOR:
-        return _xor3(ins)
-    return _not3(_xor3(ins))
+    return GATE_EVAL_3V[gate.gtype](gate, values)
 
 
 def simulate_3v(
@@ -245,6 +297,7 @@ def simulate_3v(
         values[pi] = assignment.get(pi, X)
     for q in circuit.flops:
         values[q] = (state or {}).get(q, X)
+    evaluators = GATE_EVAL_3V
     for gate in circuit.topo_order():
-        values[gate.output] = eval_gate_3v(gate, values)
+        values[gate.output] = evaluators[gate.gtype](gate, values)
     return values

@@ -6,6 +6,14 @@ the primary outputs and advances every flop (Q ← D).  The packed-pattern
 encoding carries through, so one ``SequentialSim`` advances *n* parallel
 universes at once — which is exactly what the SEU campaigns need (one
 clean universe plus n-1 faulty ones).
+
+``step`` runs on a compiled program (:class:`repro.sim.compiled
+.StepProgram`) that fuses the combinational evaluation with the flop
+advance and skips logic outside the observables' cone of influence; the
+evaluate-then-capture interpreter below is the reference path, selected
+by ``compile=False`` or ``RESCUE_NO_COMPILE=1``.  The
+:meth:`SequentialSim.flip_state` SEU-injection hook mutates ``state``
+between steps and is oblivious to which path executes them.
 """
 
 from __future__ import annotations
@@ -13,18 +21,21 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from ..circuit.netlist import Circuit
+from . import compiled as _compiled
 from .logic import mask_of, simulate
 
 
 class SequentialSim:
     """Cycle-accurate simulator for a (single-clock) sequential circuit."""
 
-    def __init__(self, circuit: Circuit, n_patterns: int = 1) -> None:
+    def __init__(self, circuit: Circuit, n_patterns: int = 1,
+                 compile: bool | None = None) -> None:
         self.circuit = circuit
         self.n_patterns = n_patterns
         self.mask = mask_of(n_patterns)
         self.state: dict[str, int] = {}
         self.cycle = 0
+        self._compile = compile
         self.reset()
 
     def reset(self) -> None:
@@ -42,10 +53,16 @@ class SequentialSim:
 
     def evaluate(self, pi_values: Mapping[str, int]) -> dict[str, int]:
         """Combinational evaluation at the current state (no clock edge)."""
-        return simulate(self.circuit, pi_values, self.n_patterns, self.state)
+        return simulate(self.circuit, pi_values, self.n_patterns, self.state,
+                        compile=self._compile)
 
     def step(self, pi_values: Mapping[str, int]) -> dict[str, int]:
         """Apply inputs, capture flops, return packed PO values for this cycle."""
+        program = _compiled.step_program(self.circuit, self._compile)
+        if program is not None:
+            out, self.state = program.run(pi_values, self.state, self.mask)
+            self.cycle += 1
+            return out
         values = self.evaluate(pi_values)
         next_state = {q: values[flop.d] for q, flop in self.circuit.flops.items()}
         self.state = next_state

@@ -232,7 +232,7 @@ class TestAutoProbe:
                              EngineConfig(workers=1), [1, 2])
         assert plan.name == "serial"
 
-    def test_unpicklable_backend_falls_back_to_thread(self, monkeypatch):
+    def test_unpicklable_backend_avoids_process(self, monkeypatch):
         monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
         # zero thresholds so the probe reaches the pickle attempt
         monkeypatch.setattr(executors, "MIN_BATCH_COST_S", 0.0)
@@ -240,19 +240,68 @@ class TestAutoProbe:
         backend = UnpicklableBackend()
         plan = plan_executor(backend, [[0], [1]],
                              EngineConfig(workers=2), [1, 2])
-        assert plan.name == "thread"
+        # two tiny chunks: nothing left to overlap once one is probed
+        assert plan.name == "serial"
         assert "not picklable" in plan.reason
         assert plan.probe_batches is not None  # probe work still handed back
 
-    def test_cheap_batches_fall_back_to_thread(self, monkeypatch):
+    def test_cheap_gil_bound_batches_fall_back_to_serial(self, monkeypatch):
+        # BENCH showed thread_x4 *slower* than serial (0.82x) on
+        # pure-Python backends: the auto probe must not pick threads
+        # when the 2-thread probe shows the batches hold the GIL
         monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
         backend = _seu_backend()
         points = list(backend.enumerate_points())
-        chunks = [points[i:i + 4] for i in range(0, 16, 4)]
+        chunks = [points[i:i + 4] for i in range(0, 24, 4)]
         seeds = [chunk_seed(0, i) for i in range(len(chunks))]
         plan = plan_executor(backend, chunks, EngineConfig(workers=2), seeds)
+        assert plan.name == "serial"
+        assert "GIL" in plan.reason
+        assert len(plan.probe_batches) == 4  # chunk 0 + warm + 2 threaded
+
+    def test_gil_releasing_batches_still_pick_threads(self, monkeypatch):
+        import time as _time
+
+        class SleepyBackend:
+            """Batches that release the GIL (sleep stands in for I/O)."""
+
+            name = "sleepy"
+            circuit_name = "toy"
+            fault_model = "none"
+            workload = "toy"
+
+            def enumerate_points(self):
+                return list(range(24))
+
+            def prepare(self):
+                return None
+
+            def run_batch(self, points):
+                _time.sleep(0.02)
+                return [Injection(point=p, location=f"p{p}", cycle=0,
+                                  outcome="ok") for p in points]
+
+        monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
+        monkeypatch.setattr(executors, "MIN_BATCH_COST_S", 1.0)  # force the
+        # cheap-batch branch so the GIL probe decides thread vs serial
+        plan = plan_executor(SleepyBackend(),
+                             [[i] for i in range(8)],
+                             EngineConfig(workers=2),
+                             [chunk_seed(0, i) for i in range(8)])
         assert plan.name == "thread"
-        assert plan.probe_batches is not None  # probe work is handed back
+        assert "2-thread probe" in plan.reason
+        assert len(plan.probe_batches) == 4
+
+    def test_gil_probe_batches_accounted_exactly_once(self, monkeypatch):
+        # the serial fallback must resume after the four probed chunks
+        monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
+        serial = run_campaign(_seu_backend(),
+                              EngineConfig(batch_size=4, executor="serial"))
+        auto = run_campaign(_seu_backend(),
+                            EngineConfig(batch_size=4, workers=2,
+                                         executor="auto"))
+        assert _rows(auto) == _rows(serial)
+        assert auto.total == serial.planned
 
     def test_costly_picklable_campaign_resolves_process(self, monkeypatch):
         monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
@@ -267,15 +316,16 @@ class TestAutoProbe:
         assert plan.payload is not None
 
     def test_auto_campaign_matches_serial(self, monkeypatch):
-        # force the probe down the thread path on any host: probe chunk 0
-        # runs in the parent and must be accounted exactly once
+        # whatever the probe decides (serial for GIL-bound batches,
+        # thread/process otherwise), probed chunks run in the parent and
+        # must be accounted exactly once, in order
         monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
         serial = run_campaign(_seu_backend(),
                               EngineConfig(batch_size=8, executor="serial"))
         auto = run_campaign(_seu_backend(),
                             EngineConfig(batch_size=8, workers=2,
                                          executor="auto"))
-        assert auto.executor in ("thread", "process")
+        assert auto.executor in ("serial", "thread", "process")
         assert _rows(auto) == _rows(serial)
         assert auto.total == serial.planned
 
@@ -295,6 +345,95 @@ class TestAutoProbe:
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError, match="unknown executor"):
             EngineConfig(executor="bogus")
+
+
+# ----------------------------------------------------------------------
+# shared shipping of large pattern payloads (ShippedBlob)
+# ----------------------------------------------------------------------
+class TestPatternShipping:
+    def _backend(self):
+        from repro.circuit.library import random_combinational
+
+        circuit = random_combinational(12, 120, seed=6)
+        faults, _ = collapse(circuit)
+        batches = [(random_patterns(circuit.inputs, 64, seed=b), 64)
+                   for b in range(4)]
+        return PpsfpBackend(circuit, faults, batches), batches
+
+    def test_small_payloads_ship_inline(self):
+        backend, batches = self._backend()
+        clone = pickle.loads(pickle.dumps(backend))
+        assert backend._batches_blob is None  # under the threshold
+        assert clone.batches == batches
+
+    def test_large_payloads_park_in_temp_file(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(executors, "SHIP_BYTES_MIN", 1 << 60)
+        inline_backend, _ = self._backend()  # deterministic twin
+        inline_size = len(pickle.dumps(inline_backend))
+        monkeypatch.setattr(executors, "SHIP_BYTES_MIN", 64)
+        backend, batches = self._backend()
+        first = pickle.dumps(backend)
+        blob = backend._batches_blob
+        assert blob is not None and os.path.exists(blob.path)
+        # the parked patterns no longer ride in the backend pickle
+        assert len(first) <= inline_size - blob.nbytes + 256
+        # repeated pickles reuse the same parked file, no re-pickling
+        assert backend._batches_blob is blob
+        second = pickle.dumps(backend)
+        assert len(second) == len(first)
+
+        clone = pickle.loads(first)
+        assert clone.batches is None  # lazy until prepare()
+        clone.prepare()
+        assert clone.batches == batches
+        backend.prepare()
+        points = backend.faults[:10]
+        assert [(i.location, i.outcome, i.detail)
+                for i in clone.run_batch(points)] \
+            == [(i.location, i.outcome, i.detail)
+                for i in backend.run_batch(points)]
+        # the parent still owns the in-memory batches and the file
+        assert backend.batches == batches
+        blob.close()
+        assert not os.path.exists(blob.path)
+        blob.close()  # idempotent
+
+    def test_replaced_batches_reship_fresh_patterns(self, monkeypatch):
+        monkeypatch.setattr(executors, "SHIP_BYTES_MIN", 64)
+        backend, batches = self._backend()
+        pickle.dumps(backend)
+        first_blob = backend._batches_blob
+        extra = random_patterns(backend.circuit.inputs, 64, seed=99)
+        backend.batches = batches + [(extra, 64)]  # new pattern set
+        clone = pickle.loads(pickle.dumps(backend))
+        assert backend._batches_blob is not first_blob  # stale blob dropped
+        clone.prepare()
+        assert clone.batches == backend.batches  # workers see the new set
+
+    def test_blob_worker_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(executors, "SHIP_BYTES_MIN", 1)
+        blobs = [executors.ShippedBlob(list(range(100 + i)))
+                 for i in range(executors._BLOB_CACHE_MAX + 3)]
+        clones = [pickle.loads(pickle.dumps(b)) for b in blobs]
+        for blob, clone in zip(blobs, clones):
+            assert clone.load() == blob.load()
+        assert len(executors._blob_cache) <= executors._BLOB_CACHE_MAX
+        for blob in blobs:
+            blob.close()
+
+    def test_campaign_identity_with_shipping_forced(self, monkeypatch):
+        monkeypatch.setattr(executors, "SHIP_BYTES_MIN", 64)
+        results = {}
+        for executor in ("serial", "process"):
+            backend, _ = self._backend()
+            report = run_campaign(
+                backend,
+                EngineConfig(batch_size=32, workers=2, executor=executor))
+            assert report.executor == executor
+            results[executor] = _rows(report)
+        assert results["serial"] == results["process"]
 
 
 # ----------------------------------------------------------------------
