@@ -37,6 +37,13 @@ Four measurements:
 9. **Pattern shipping**: a PPSFP backend whose pickled pattern payload
    crosses the temp-file threshold — campaign payload size with the
    patterns parked vs inlined, identity gated.
+10. **Vector core**: the packed-64 compiled SEU campaign against the
+    vector tier at 256 and 1024 lanes (big-int backing, plus an honest
+    forced-ndarray row) — identity vs the per-point reference is
+    required unconditionally at every width, and the 256-lane row
+    carries the >= 2x-over-packed CI gate (target >= 3x).  The section
+    also records the source-interning effect on a cold det-program
+    sweep (sites vs unique compiled sources, cold vs warm).
 
 Runs standalone (``python benchmarks/bench_engine_smoke.py``) or under
 pytest; both write ``BENCH_engine.json`` at the repo root.
@@ -555,6 +562,110 @@ def _compiled_sim_measurement(n_gates=800, n_batches=12, batch_patterns=16,
 
 
 # ----------------------------------------------------------------------
+# vector core: packed-64 vs 64xN-lane campaigns, identity required
+# ----------------------------------------------------------------------
+def _vector_core_measurement(n_cycles=120):
+    from repro.sim import compiled as _compiled
+    from repro.circuit.library import random_sequential
+
+    # larger than the smoke rand_seq: with only 12 flops the fixed
+    # per-injection costs (outcome recovery, engine bookkeeping) mask
+    # the per-run saving the wider lanes buy
+    circuit = random_sequential(n_inputs=10, n_gates=400, n_flops=40,
+                                seed=3)
+    workload = random_workload(circuit, n_cycles, seed=7)
+
+    def campaign(width, backing=None):
+        kwargs = {"lane_width": width}
+        if backing is not None:
+            kwargs["lane_backing"] = backing
+        # one shared circuit instance: the step program compiles once
+        # and every width reuses the same code object (the vector
+        # wrappers add only lane geometry)
+        backend = SeuBackend(circuit, workload, **kwargs)
+        report = run_campaign(backend,
+                              EngineConfig(executor="serial"))
+        return (backend, report,
+                [(i.location, i.cycle, i.outcome)
+                 for i in report.injections])
+
+    _, _, ref_rows = campaign(1)  # per-point identity reference
+    campaign(64)  # warm the shared step program (eagerly compiled)
+
+    variants = (("w64_packed", 64, None),
+                ("w256_vector", 256, None),
+                ("w1024_vector", 1024, None),
+                ("w1024_ndarray", 1024, "ndarray"))
+    rows = {}
+    identical = True
+    for label, width, backing in variants:
+        backend, report, out_rows = campaign(width, backing)
+        ctx = backend._lane_ctx
+        rows[label] = {
+            "injections": report.total,
+            "backing": ctx.backing if ctx is not None else "none",
+            "elapsed_s": round(report.elapsed_s, 4),
+            "injections_per_s": round(report.injections_per_second, 1),
+            "identical_vs_per_point": out_rows == ref_rows,
+        }
+        identical = identical and out_rows == ref_rows
+    packed = rows["w64_packed"]["elapsed_s"]
+    for row in rows.values():
+        row["speedup_vs_packed"] = (
+            round(packed / row["elapsed_s"], 2) if row["elapsed_s"]
+            else float("inf"))
+
+    # source interning: a cold fault-dictionary sweep compiles once per
+    # distinct cone *structure*, not once per site.  Structured
+    # circuits repeat cone shapes heavily (rand_seq: 230 det sites
+    # share 90 sources); fully random combinational netlists are the
+    # honest worst case — nearly every cone source is unique there, so
+    # interning buys nothing and the cold cost is all real compilation
+    comb = load("rand_seq")
+    cfaults, _ = collapse(comb)
+    cbatches = [(random_patterns(comb.inputs, 16, seed=100 + b), 16)
+                for b in range(2)]
+    old_hits = _compiled.COMPILE_AFTER_HITS
+    _compiled.COMPILE_AFTER_HITS = 0
+    try:
+        comb._program_cache.clear()
+        start = time.perf_counter()
+        fault_simulate_batched(comb, cfaults, cbatches,
+                               drop_detected=False)
+        t_cold = time.perf_counter() - start
+        start = time.perf_counter()
+        fault_simulate_batched(comb, cfaults, cbatches,
+                               drop_detected=False)
+        t_warm = time.perf_counter() - start
+    finally:
+        _compiled.COMPILE_AFTER_HITS = old_hits
+    cache = comb._program_cache
+    interned = cache.get("_interned", {})
+    n_sites = sum(1 for key in cache
+                  if isinstance(key, tuple) and key[0] in ("det", "cone"))
+    return {
+        "circuit": circuit.name,
+        "n_cycles": n_cycles,
+        "population": len(circuit.flops) * n_cycles,
+        "grid": rows,
+        "outcome_identical": identical,
+        "vector_speedup_256": rows["w256_vector"]["speedup_vs_packed"],
+        "vector_speedup_1024": rows["w1024_vector"]["speedup_vs_packed"],
+        "interning": {
+            "circuit": comb.name,
+            "compiled_sites": n_sites,
+            "unique_sources": len(interned),
+            "sites_per_source": round(n_sites / len(interned), 2)
+            if interned else 1.0,
+            "cold_s": round(t_cold, 4),
+            "warm_s": round(t_warm, 4),
+            "cold_vs_warm": round(t_cold / t_warm, 2) if t_warm
+            else float("inf"),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # pattern shipping: large PPSFP payloads park in the temp-file channel
 # ----------------------------------------------------------------------
 def _pattern_shipping_measurement(n_inputs=48, n_gates=600,
@@ -629,6 +740,7 @@ def run_smoke():
         "persistent_pool": _persistent_pool_measurement(),
         "compiled_sim": _compiled_sim_measurement(),
         "pattern_shipping": _pattern_shipping_measurement(),
+        "vector_core": _vector_core_measurement(),
     }
     if cpus < 2:
         record["note"] = (
@@ -694,6 +806,20 @@ def test_engine_smoke(benchmark):
                  f"{csim['seu']['speedup']:.2f}x",
                  "identical" if csim["seu"]["outcome_identical"]
                  else "MISMATCH"))
+    vcore = record["vector_core"]
+    for key, row in vcore["grid"].items():
+        rows.append((f"vector {key} ({row['backing']})",
+                     f"{row['elapsed_s']:.3f}s",
+                     f"{row['injections_per_s']:.0f} inj/s",
+                     f"{row['speedup_vs_packed']:.2f}x"
+                     + ("" if row["identical_vs_per_point"]
+                        else " MISMATCH")))
+    intern = vcore["interning"]
+    rows.append(("det-source interning",
+                 f"{intern['cold_s']:.3f}s cold",
+                 f"{intern['compiled_sites']} sites / "
+                 f"{intern['unique_sources']} sources",
+                 f"{intern['cold_vs_warm']:.2f}x warm"))
     ship = record["pattern_shipping"]
     rows.append(("ppsfp payload inline",
                  f"{ship['backend_inline_bytes']} B",

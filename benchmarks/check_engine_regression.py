@@ -17,6 +17,10 @@ when the engine's perf claims regress:
   identity or fell below 2x;
 * pattern shipping stopped engaging on an over-threshold payload,
   stopped shrinking the pickled backend, or changed campaign outcomes;
+* the vector tier lost per-point identity at any lane width or backing
+  (unconditional), or the 256-lane vector SEU campaign fell below 2x
+  over the packed-64 compiled path (the headline target is >= 3x), or
+  source interning stopped deduplicating det-program sources;
 * on a multicore host, the process executor at 4 workers is slower than
   serial on the SEU workload.  The stretch target — >= 2x on hosts with
   >= 4 CPUs — is reported as a warning, not enforced, until a real
@@ -114,6 +118,26 @@ def check(record: dict) -> list[str]:
             failures.append(
                 "shipped backend payload is not smaller than inline")
 
+    vcore = record.get("vector_core")
+    if vcore is None:
+        failures.append("vector_core rows missing from the bench record")
+    else:
+        for key, row in vcore["grid"].items():
+            if not row["identical_vs_per_point"]:
+                failures.append(
+                    f"vector core {key} ({row['backing']}) is no longer "
+                    "identical to the per-point reference")
+        if vcore["vector_speedup_256"] < 2.0:
+            failures.append(
+                f"vector SEU at 256 lanes {vcore['vector_speedup_256']}x "
+                "fell below the 2x-over-packed floor (target >= 3x)")
+        intern = vcore["interning"]
+        if intern["unique_sources"] >= intern["compiled_sites"]:
+            failures.append(
+                "source interning is no longer deduplicating det-program "
+                f"sources ({intern['unique_sources']} sources for "
+                f"{intern['compiled_sites']} sites)")
+
     scaling = record["executor_scaling"]
     for workload in PORTED_WORKLOADS:
         if workload not in scaling:
@@ -152,11 +176,14 @@ def main(argv: list[str]) -> int:
     seu = record["executor_scaling"]["seu"]
     lanes = record["lane_packing"]["seu"]
     csim = record["compiled_sim"]
+    vcore = record["vector_core"]
     print(f"engine perf gate OK (host_cpus={record.get('host_cpus')}, "
           f"seu process_x4 speedup {seu['process_x4_speedup']}x, "
           f"packed seu {lanes['packed_speedup']}x, "
           f"compiled ppsfp warm {csim['ppsfp']['warm_speedup']}x / "
-          f"seu {csim['seu']['speedup']}x)")
+          f"seu {csim['seu']['speedup']}x, "
+          f"vector seu x256 {vcore['vector_speedup_256']}x / "
+          f"x1024 {vcore['vector_speedup_1024']}x)")
     return 0
 
 

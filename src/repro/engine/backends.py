@@ -150,7 +150,12 @@ class SeuBackend:
     fault instance *i* and outcomes come back per lane by XOR against
     the golden trace — byte-identical to the per-point path, ~W× fewer
     circuit evaluations.  ``lane_width=1`` keeps the per-point
-    :func:`inject_seu` path for parity testing.
+    :func:`inject_seu` path for parity testing.  Widths above 64 run on
+    the vector tier (packed big ints by default, numpy block arrays via
+    ``lane_backing="ndarray"`` or auto past the crossover — see
+    :mod:`repro.sim.vector`); without numpy they degrade to 64 with a
+    logged warning.  Outcomes are byte-identical at every width and
+    backing.
 
     ``skip_dead_flops=True`` opts into the engine's point-filter stage:
     a flop whose single-cycle fan-out cone reaches no primary output and
@@ -173,6 +178,7 @@ class SeuBackend:
         cycles: Sequence[int] | None = None,
         skip_dead_flops: bool = False,
         lane_width: int = DEFAULT_LANE_WIDTH,
+        lane_backing: str | None = None,
     ) -> None:
         if not circuit.flops:
             raise ValueError(f"{circuit.name} has no flops to upset")
@@ -185,7 +191,10 @@ class SeuBackend:
                            else range(len(self.stimuli)))
         self.skip_dead_flops = skip_dead_flops
         self.use_filter = skip_dead_flops  # engine filter-stage gate
-        self.lane_width = max(1, lane_width)
+        # resolved here, before the engine chunks points, so parent and
+        # process-pool workers agree on the effective width
+        self.lane_width = lanes.resolve_lane_width(lane_width)
+        self.lane_backing = lane_backing
         self._golden: tuple | None = None
         self._lane_ctx: lanes.LaneContext | None = None
         self._dead_flops: dict[str, bool] = {}  # flop -> cone verdict cache
@@ -226,8 +235,9 @@ class SeuBackend:
         if self._golden is None:  # idempotent: re-run per worker process
             self._golden = _golden_run(self.circuit, self.stimuli)
         if self.lane_width > 1 and self._lane_ctx is None:
-            self._lane_ctx = lanes.build_context(self.circuit, self.stimuli,
-                                                 self.lane_width)
+            self._lane_ctx = lanes.build_context(
+                self.circuit, self.stimuli, self.lane_width,
+                backing=getattr(self, "lane_backing", None))
 
     def __getstate__(self) -> dict:
         """The golden trace is dropped: workers re-run it in ``prepare``."""

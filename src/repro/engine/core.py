@@ -303,13 +303,21 @@ def run_campaign(
     # Lane-aware chunk sizing: a lane-packing backend simulates up to
     # ``lane_width`` points per run, so chunks larger than one lane are
     # rounded *down* to a lane multiple (no fragmented trailing lane per
-    # chunk).  Chunks are never inflated — early-stop granularity and
-    # per-chunk RNG seeding stay byte-identical to the configured batch
-    # size whenever it already fits a lane.
+    # chunk).  Chunks at or below the classic 64-lane word are never
+    # inflated — early-stop granularity and per-chunk RNG seeding stay
+    # byte-identical to the configured batch size whenever it already
+    # fits a lane.  Vector-tier words (lane_width > 64) are the one
+    # exception: a wide word only pays off when filled, so the batch is
+    # raised to one full lane unless the caller pinned a smaller
+    # batch_size explicitly (outcome identity never depends on chunking;
+    # only early-stop granularity coarsens with the lane).
     lane_width = max(1, int(getattr(backend, "lane_width", 1) or 1))
     batch_size = max(1, config.batch_size)
     if lane_width > 1 and batch_size > lane_width:
         batch_size -= batch_size % lane_width
+    elif lane_width > 64 and batch_size < lane_width \
+            and config.batch_size == type(config).batch_size:
+        batch_size = lane_width
     chunks = _chunked(points, batch_size)
     seeds = [chunk_seed(config.seed, i) for i in range(len(chunks))]
 

@@ -61,6 +61,15 @@ EXECUTOR_CHOICES = ("auto", "serial", "thread", "process")
 MIN_BATCH_COST_S = 0.002
 MIN_CAMPAIGN_COST_S = 0.25
 
+# Vector-tier campaigns (lane_width > 64) retire up to lane_width points
+# per dispatched chunk, so the conservative MIN_BATCH_COST_S — tuned to
+# keep *scalar* campaigns from drowning in per-chunk IPC — would send
+# exactly the densest campaigns to the serial loop.  For them the bail
+# threshold drops to the bare per-dispatch overhead instead (the
+# remaining-work guard still keeps genuinely small campaigns out of the
+# pool).
+MIN_DISPATCH_COST_S = 0.0004
+
 # Minimum speedup of the 2-thread concurrency probe (two chunks on two
 # threads vs twice the warm serial chunk cost) for the auto probe to
 # pick the thread executor.  Pure-Python batches hold the GIL, so two
@@ -289,7 +298,16 @@ def plan_executor(backend: Any, chunks: Sequence[Sequence[Any]],
     batch0 = execute_chunk(backend, chunks[0], seeds[0])
     per_batch = time.perf_counter() - t0
     remaining = per_batch * (len(chunks) - 1)
-    if per_batch < MIN_BATCH_COST_S:
+    # Lane-aware cost floor: a vector-tier chunk (lane_width > 64) packs
+    # up to lane_width points into each dispatch, so a "cheap" batch
+    # still amortises process-shipping overhead across a dense point
+    # payload — only batches below the raw dispatch cost bail, and only
+    # when enough total work remains to amortise the pool at all.
+    lane_width = max(1, int(getattr(backend, "lane_width", 1) or 1))
+    batch_floor = (MIN_DISPATCH_COST_S
+                   if lane_width > 64 and remaining >= MIN_CAMPAIGN_COST_S
+                   else MIN_BATCH_COST_S)
+    if per_batch < batch_floor:
         return _thread_or_serial(
             backend, chunks, seeds,
             f"per-batch cost {per_batch * 1e3:.2f}ms below process dispatch "

@@ -20,6 +20,18 @@ The cost of a packed run is one circuit evaluation per cycle regardless
 of lane count (Python bigint bitwise ops are width-insensitive at these
 sizes), so a ``W``-lane run replaces ``W`` sequential resimulations.
 
+Widths beyond 64 engage the **vector tier**: the packed word outgrows
+the machine word and is carried either by an arbitrary-precision int
+(the default — big-int ops stay near width-insensitive to ~32k lanes)
+or by a numpy ``uint64`` block array fed through the same compiled step
+function (auto-selected past :data:`repro.sim.vector.NDARRAY_MIN_LANES`,
+or forced via ``backing=`` / ``RESCUE_VECTOR_BACKING``).  Per-lane flips
+become index-computed XOR masks into the block array and outcome
+recovery is a vectorized XOR against the golden trace; both backings
+are byte-identical to the 64-lane and 1-lane references.  Without
+numpy installed, widths above 64 degrade to 64 with a one-time logged
+warning (:func:`resolve_lane_width`).
+
 Two front-ends are provided: :func:`seu_outcomes` (flip one flop at one
 cycle — :class:`repro.engine.backends.SeuBackend`) and
 :func:`transient_outcomes` (arbitrary injection-cycle physics supplied
@@ -37,12 +49,28 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..circuit.netlist import Circuit
 from ..sim import compiled as _compiled
+from ..sim import vector as _vector
 from ..sim.logic import mask_of, simulate
 from ..sim.sequential import SequentialSim
 from .core import _chunked
 
 #: Default number of fault instances packed into one sequential run.
 DEFAULT_LANE_WIDTH = 64
+
+
+def resolve_lane_width(width: int) -> int:
+    """Clamp a requested lane width to what the host supports.
+
+    Widths above 64 belong to the vector tier, which is declared
+    against numpy; without it they degrade to the classic 64-lane
+    packing with a one-time logged warning.  (Outcomes are identical at
+    every width, so degradation only costs throughput.)
+    """
+    width = max(1, int(width))
+    if width > DEFAULT_LANE_WIDTH and not _vector.HAVE_NUMPY:
+        _vector._warn_no_numpy(f"lane width {width} requested")
+        return DEFAULT_LANE_WIDTH
+    return width
 
 MASKED = "masked"
 LATENT = "latent"
@@ -96,6 +124,10 @@ class LaneContext:
     rep_trace: list[dict[str, int]]
     states: list[dict[str, int]]
     final_state: dict[str, int]
+    #: ``"int"`` (packed big int — any width) or ``"ndarray"`` (numpy
+    #: uint64 blocks through the same compiled step function).
+    backing: str = "int"
+    n_blocks: int = 1
 
     @property
     def n_cycles(self) -> int:
@@ -122,12 +154,40 @@ class LaneContext:
         self._raw = (program, stim, trace, states, final)
         return stim, trace, states, final
 
+    def raw_views_nd(self, program) -> tuple:
+        """Block-array raw views for the ndarray backing.
+
+        Every replicated word is either all-zero or all-lanes, so the
+        views share two arrays (``zero`` and the lane mask) across all
+        nets and cycles — the generated step function never mutates its
+        inputs, and `propagate` replaces (not updates) flipped slots.
+        """
+        cached = getattr(self, "_raw_nd", None)
+        if cached is not None and cached[0] is program:
+            return cached[1:]
+        zero = _vector.zeros(self.n_blocks)
+        ones = _vector.mask_array(self.width, self.n_blocks)
+
+        def conv(packed: int):
+            return ones if packed else zero
+
+        stim = [tuple(conv(cyc.get(pi, 0)) for pi in program.inputs)
+                for cyc in self.rep_stimuli]
+        trace = [tuple(conv(cyc[po]) for po in program.outputs)
+                 for cyc in self.rep_trace]
+        states = [tuple(conv(st[q]) for q in program.flop_qs)
+                  for st in self.states]
+        final = tuple(conv(self.final_state[q]) for q in program.flop_qs)
+        self._raw_nd = (program, stim, trace, states, final, ones)
+        return stim, trace, states, final, ones
+
 
 def build_context(
     circuit: Circuit,
     stimuli: Sequence[Mapping[str, int]],
     width: int,
     golden: tuple[list[dict[str, int]], list[dict[str, int]]] | None = None,
+    backing: str | None = None,
 ) -> LaneContext:
     """Run (or reuse) the golden pass and replicate it across lanes.
 
@@ -135,8 +195,17 @@ def build_context(
     :func:`repro.safety.slicing._golden_states` format — per-cycle
     entering states plus full net values — to avoid a second golden
     simulation when the backend already keeps one.
+
+    ``backing`` selects the packed-word representation for widths
+    beyond 64 (``None`` auto-picks per :func:`repro.sim.vector
+    .resolve_backing`); the ndarray backing additionally needs the
+    compiled step program, so it falls back to packed ints when
+    compilation is globally disabled (identical outcomes either way).
     """
     mask = mask_of(width)
+    resolved_backing = _vector.resolve_backing(width, backing)
+    if resolved_backing == "ndarray" and not _compiled.compilation_enabled():
+        resolved_backing = "int"  # interpreter path carries big ints
     if golden is not None:
         states = [dict(st) for st in golden[0]]
         values = golden[1]
@@ -163,7 +232,8 @@ def build_context(
     rep_trace = [{po: (mask if bit else 0) for po, bit in cyc.items()}
                  for cyc in trace]
     return LaneContext(circuit, width, mask, rep_stimuli, rep_trace,
-                       states, final_state)
+                       states, final_state, backing=resolved_backing,
+                       n_blocks=_vector.blocks_for(width))
 
 
 def propagate(ctx: LaneContext, flips: Mapping[int, Mapping[str, int]],
@@ -183,6 +253,8 @@ def propagate(ctx: LaneContext, flips: Mapping[int, Mapping[str, int]],
     mask = ctx.mask
     lanes = mask_of(n_lanes)
     program = _compiled.step_program(ctx.circuit)
+    if program is not None and ctx.backing == "ndarray":
+        return _propagate_ndarray(ctx, program, flips, start, lanes)
     if program is not None:
         # compiled fast path: drive the generated step function on raw
         # slot tuples — flips XOR into state slots by index, outputs
@@ -224,6 +296,43 @@ def propagate(ctx: LaneContext, flips: Mapping[int, Mapping[str, int]],
         diff |= sim.state[q] ^ (mask if bit else 0)
     fail &= lanes
     return fail, diff & lanes & ~fail
+
+
+def _propagate_ndarray(ctx: LaneContext, program, flips, start: int,
+                       lanes: int) -> tuple[int, int]:
+    """The ndarray-backed packed propagation.
+
+    Same loop as the compiled int path, but every slot is a uint64
+    block array: the generated step function broadcasts over blocks,
+    per-lane flips become block arrays XORed into fresh state slots
+    (never in place — golden slots are shared), and fail/latent words
+    accumulate elementwise before one conversion back to ints for the
+    caller's per-lane bit extraction.
+    """
+    mask = ctx.mask
+    blocks = ctx.n_blocks
+    stim, trace, states, final, ones = ctx.raw_views_nd(program)
+    q_index = program.q_index
+    fn = program.program.fn
+    state = states[start]
+    fail = _vector.zeros(blocks)
+    for cyc in range(start, ctx.n_cycles):
+        cyc_flips = flips.get(cyc)
+        if cyc_flips:
+            slots = list(state)
+            for q, lane_mask in cyc_flips.items():
+                flip = _vector.to_blocks(lane_mask & mask, blocks)
+                slots[q_index[q]] = slots[q_index[q]] ^ flip
+            state = tuple(slots)
+        out, state = fn(stim[cyc], state, ones)
+        for val, golden in zip(out, trace[cyc]):
+            fail |= val ^ golden
+    diff = _vector.zeros(blocks)
+    for val, golden in zip(state, final):
+        diff |= val ^ golden
+    fail_int = _vector.from_blocks(fail) & lanes
+    latent_int = _vector.from_blocks(diff) & lanes & ~fail_int
+    return fail_int, latent_int
 
 
 def seu_outcomes(ctx: LaneContext,

@@ -374,7 +374,8 @@ class SlicingBackend:
                  stimuli: Sequence[Mapping[str, int]],
                  cycles: Sequence[int] | None = None,
                  use_filter: bool = True,
-                 lane_width: int = DEFAULT_LANE_WIDTH) -> None:
+                 lane_width: int = DEFAULT_LANE_WIDTH,
+                 lane_backing: str | None = None) -> None:
         self.circuit = circuit
         self.circuit_name = circuit.name
         self.faults = list(faults)
@@ -387,7 +388,8 @@ class SlicingBackend:
             # path behaves identically
             raise ValueError(f"negative injection cycles in {self.cycles}")
         self.use_filter = use_filter
-        self.lane_width = max(1, lane_width)
+        self.lane_width = lanes.resolve_lane_width(lane_width)
+        self.lane_backing = lane_backing
         self.workload = (f"slicing[{len(self.stimuli)} cycles, "
                          f"{'sliced' if use_filter else 'naive'}]")
         self._golden: tuple[list, list] | None = None
@@ -406,7 +408,8 @@ class SlicingBackend:
             # ``_golden`` — no second golden simulation
             self._lane_ctx = lanes.build_context(
                 self.circuit, self.stimuli, self.lane_width,
-                golden=self._golden)
+                golden=self._golden,
+                backing=getattr(self, "lane_backing", None))
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()

@@ -36,10 +36,29 @@ both paths against each other.
 Caching and invalidation: programs are memoized in
 ``Circuit._program_cache`` and invalidated by ``Circuit._invalidate``
 alongside the topo/fan-out/cone caches, so any mutation recompiles.
+Per-site sources are additionally *interned*: structurally identical
+cones share one ``CompiledProgram`` and therefore one ``compile()``,
+which is where the cold-sweep cost lives.  Structured circuits repeat
+cone shapes heavily (on ``rand_seq``, 230 detection sites share 90
+distinct sources); fully random netlists are the worst case — nearly
+every cone is structurally unique there and interning is a no-op.  (Concatenating pending sources into one big
+``compile()`` unit was measured *slower* on CPython 3.11 — byte-compile
+time grows superlinearly with module size: 0.92x at 25 sources/unit,
+0.29x at 1000 — so deduplication, not batching, is the cold-path win.)
 Pickling: a program carries only its *source*; the code object is
 rebuilt lazily on first call in the receiving process (the same
 cache-drop pattern ``Circuit.__getstate__`` uses), so compiled backends
 ship to process-pool workers unchanged.
+
+**Vector tier**: the generated expressions are polymorphic — fed numpy
+``uint64`` block arrays instead of ints, the same source evaluates 64
+lanes *per block* per op.  :class:`VectorCircuitProgram` /
+:class:`VectorStepProgram` / :class:`VectorConeProgram` /
+:class:`VectorDetProgram` wrap the scalar programs with an ``n_lanes``
+parameter, converting packed ints to block arrays at the boundary (see
+:mod:`repro.sim.vector` for the backing model and the int/ndarray
+crossover).  The scalar and vector variants share one compiled code
+object per source.
 """
 
 from __future__ import annotations
@@ -50,6 +69,7 @@ from contextlib import contextmanager
 from typing import Iterator, Mapping, Sequence
 
 from ..circuit.netlist import Circuit, Gate, GateType
+from . import vector as _vector
 
 #: Environment kill switch: set to anything but ""/"0" to force the
 #: reference interpreter everywhere (benchmark baselines, debugging).
@@ -452,7 +472,7 @@ def _build_det_program(circuit: Circuit, site: str, shadow_sink: str | None,
     source = emit.source("def _run(good, forced, mask):", [], ret)
     name = f"det:{circuit.name}:{site}" + (f"->{shadow_sink}"
                                            if shadow_sink else "")
-    return DetProgram(CompiledProgram(source, name))
+    return DetProgram(_intern(circuit, source, name))
 
 
 def _build_cone_program(circuit: Circuit, site: str,
@@ -473,9 +493,9 @@ def _build_cone_program(circuit: Circuit, site: str,
     emit.lines = loads + emit.lines
     ret = _tuple_expr([emit.atoms[n] for n in out_names])
     source = emit.source("def _run(good, forced, mask):", [], ret)
-    program = CompiledProgram(
-        source, f"cone:{circuit.name}:{site}"
-        + (f"->{shadow_sink}" if shadow_sink else ""))
+    program = _intern(circuit, source,
+                      f"cone:{circuit.name}:{site}"
+                      + (f"->{shadow_sink}" if shadow_sink else ""))
     return ConeProgram(program, tuple(out_names),
                        site if shadow_sink is None else None)
 
@@ -488,6 +508,25 @@ def _cache(circuit: Circuit) -> dict:
     if cache is None:  # circuits unpickled from pre-cache snapshots
         cache = circuit._program_cache = {}
     return cache
+
+
+def _intern(circuit: Circuit, source: str, name: str) -> CompiledProgram:
+    """One :class:`CompiledProgram` per distinct per-site source.
+
+    Structured circuits produce many structurally identical cones
+    (same gates, same external nets, different site key), whose
+    generated sources match character for character — on ``rand_seq``
+    230 detection sites share 90 distinct sources.  Interning them in
+    the circuit's program cache means ``compile()`` runs once per
+    *structure* instead of once per *site* — the dominant cold-sweep
+    cost.  The first site's name wins (it only labels tracebacks); the
+    table invalidates with the rest of the cache on circuit mutation.
+    """
+    table = _cache(circuit).setdefault("_interned", {})
+    program = table.get(source)
+    if program is None:
+        program = table[source] = CompiledProgram(source, name)
+    return program
 
 
 def circuit_program(circuit: Circuit,
@@ -582,3 +621,181 @@ def det_program(circuit: Circuit, line, observe: Sequence[str],
         _cache(circuit), ("det", site, shadow_sink, tuple(observe)),
         lambda: _build_det_program(circuit, site, shadow_sink, observe),
         weight)
+
+
+# ----------------------------------------------------------------------
+# vector tier: the same generated sources over uint64 block arrays
+# ----------------------------------------------------------------------
+class _VectorProgram:
+    """Shared shape of the vector variants: a scalar program plus the
+    lane geometry.  The generated function is reused as-is — numpy
+    broadcasting makes the emitted ``& | ^ ~ ... & mask`` expressions
+    evaluate block-arrays exactly like ints — so scalar and vector
+    variants share one compiled code object (and one ``compile()``).
+    The block-array mask is rebuilt lazily after unpickling; only the
+    scalar program (which pickles as source) and ``n_lanes`` travel.
+    """
+
+    __slots__ = ("scalar", "n_lanes", "n_blocks", "_mask")
+
+    def __init__(self, scalar, n_lanes: int) -> None:
+        if not _vector.HAVE_NUMPY:  # factories return None instead
+            raise RuntimeError("vector programs require numpy")
+        self.scalar = scalar
+        self.n_lanes = n_lanes
+        self.n_blocks = _vector.blocks_for(n_lanes)
+        self._mask = None
+
+    @property
+    def mask(self):
+        mask = self._mask
+        if mask is None:
+            mask = self._mask = _vector.mask_array(self.n_lanes,
+                                                   self.n_blocks)
+        return mask
+
+    @property
+    def fn(self):
+        return self.scalar.program.fn
+
+    def __getstate__(self):
+        return (self.scalar, self.n_lanes)
+
+    def __setstate__(self, state) -> None:
+        self.scalar, self.n_lanes = state
+        self.n_blocks = _vector.blocks_for(self.n_lanes)
+        self._mask = None
+
+
+class VectorCircuitProgram(_VectorProgram):
+    """Vector variant of :class:`CircuitProgram`: ``run`` takes packed
+    ints of up to ``n_lanes`` patterns and returns every net as a
+    uint64 block array (const-folded nets may come back as plain
+    ``0``/mask — :func:`repro.sim.vector.from_blocks` plus an
+    ``isinstance`` check recovers ints uniformly)."""
+
+    def run(self, pi_values: Mapping[str, int],
+            state: Mapping[str, int] | None = None) -> dict:
+        scalar = self.scalar
+        mask = self.mask
+        blocks = self.n_blocks
+        full = (1 << self.n_lanes) - 1
+        pis = tuple(_vector.to_blocks(pi_values.get(pi, 0) & full, blocks)
+                    for pi in scalar.inputs)
+        if state is None:
+            flop_state = tuple(mask if init else 0
+                               for _, init in scalar.flop_inits)
+        else:
+            flop_state = tuple(
+                _vector.to_blocks(state[q] & full, blocks) if q in state
+                else (mask if init else 0)
+                for q, init in scalar.flop_inits)
+        return dict(zip(scalar.net_names, self.fn(pis, flop_state, mask)))
+
+
+class VectorStepProgram(_VectorProgram):
+    """Vector variant of :class:`StepProgram`: one clock over block
+    arrays.  ``run`` mirrors ``StepProgram.run`` with packed-int
+    boundaries; :mod:`repro.engine.lanes` drives :attr:`fn` directly on
+    raw block-array tuples instead."""
+
+    def run(self, pi_values: Mapping[str, int],
+            state: Mapping[str, int]) -> tuple[dict, dict]:
+        scalar = self.scalar
+        mask = self.mask
+        blocks = self.n_blocks
+        full = (1 << self.n_lanes) - 1
+        pis = tuple(_vector.to_blocks(pi_values.get(pi, 0) & full, blocks)
+                    for pi in scalar.inputs)
+        flop_state = tuple(
+            _vector.to_blocks(state[q] & full, blocks) if q in state
+            else (mask if init else 0)
+            for q, init in zip(scalar.flop_qs, scalar.flop_inits))
+        pos, nxt = self.fn(pis, flop_state, mask)
+        return (dict(zip(scalar.outputs, pos)),
+                dict(zip(scalar.flop_qs, nxt)))
+
+
+class VectorConeProgram(_VectorProgram):
+    """Vector variant of :class:`ConeProgram`: ``good`` values and the
+    forced word are block arrays; ``apply`` folds the recomputed cone
+    back into a full faulty-values dict, like the scalar version."""
+
+    def apply(self, good: Mapping, forced) -> dict:
+        scalar = self.scalar
+        values = dict(good)
+        if scalar.stem is not None:
+            values[scalar.stem] = forced
+        for net, val in zip(scalar.out_names,
+                            self.fn(good, forced, self.mask)):
+            values[net] = val
+        return values
+
+
+class VectorDetProgram(_VectorProgram):
+    """Vector variant of :class:`DetProgram`: ``detect`` returns the
+    detection word over a block-array good dict (``0`` when the site is
+    unobservable — callers test ``bool(np.any(det))`` or convert with
+    :func:`repro.sim.vector.from_blocks`)."""
+
+    def detect(self, good: Mapping, forced):
+        return self.fn(good, forced, self.mask)
+
+
+def vector_circuit_program(circuit: Circuit, n_lanes: int,
+                           enable: bool | None = None
+                           ) -> VectorCircuitProgram | None:
+    """The ``n_lanes``-wide full-circuit program, or ``None`` when
+    compilation is off or numpy is missing (callers fall back to the
+    packed-int paths, which carry any width through big ints)."""
+    if not _vector.HAVE_NUMPY or not _active(enable):
+        return None
+    cache = _cache(circuit)
+    key = ("vfull", n_lanes)
+    prog = cache.get(key)
+    if prog is None:
+        scalar = circuit_program(circuit, enable)
+        prog = cache[key] = VectorCircuitProgram(scalar, n_lanes)
+    return prog
+
+
+def vector_step_program(circuit: Circuit, n_lanes: int,
+                        enable: bool | None = None
+                        ) -> VectorStepProgram | None:
+    """The ``n_lanes``-wide fused step program (``None``: see
+    :func:`vector_circuit_program`)."""
+    if not _vector.HAVE_NUMPY or not _active(enable):
+        return None
+    cache = _cache(circuit)
+    key = ("vstep", n_lanes)
+    prog = cache.get(key)
+    if prog is None:
+        scalar = step_program(circuit, enable)
+        prog = cache[key] = VectorStepProgram(scalar, n_lanes)
+    return prog
+
+
+def vector_cone_program(circuit: Circuit, line, n_lanes: int,
+                        enable: bool | None = None,
+                        weight: int = 1) -> VectorConeProgram | None:
+    """The ``n_lanes``-wide cone sub-program for ``line`` (same hit
+    gate as :func:`cone_program`; the wrapper itself is free)."""
+    if not _vector.HAVE_NUMPY:
+        return None
+    scalar = cone_program(circuit, line, enable, weight)
+    if scalar is None:
+        return None
+    return VectorConeProgram(scalar, n_lanes)
+
+
+def vector_det_program(circuit: Circuit, line, observe: Sequence[str],
+                       n_lanes: int, enable: bool | None = None,
+                       weight: int = 1) -> VectorDetProgram | None:
+    """The ``n_lanes``-wide detection program for ``line`` (same hit
+    gate as :func:`det_program`; the wrapper itself is free)."""
+    if not _vector.HAVE_NUMPY:
+        return None
+    scalar = det_program(circuit, line, observe, enable, weight)
+    if scalar is None:
+        return None
+    return VectorDetProgram(scalar, n_lanes)

@@ -1,0 +1,127 @@
+"""Vector backing for packed simulation words wider than 64 lanes.
+
+Every simulator in this toolkit packs parallel lanes (patterns, fault
+instances) into the bits of one word per net.  Two backings implement
+that word:
+
+* ``"int"`` — an arbitrary-precision Python int.  This is the classic
+  PPSFP representation and it is *not* capped at the machine word:
+  CPython big-int bitwise ops stay almost width-insensitive well past a
+  thousand bits (one NAND on this class of host: ~0.12µs at 64 bits,
+  ~0.17µs at 1024 bits), so a 1024-lane word costs barely more than a
+  64-lane one while carrying 16x the lanes.
+* ``"ndarray"`` — a numpy ``uint64`` array of ``n_blocks = ceil(lanes /
+  64)`` blocks, least-significant block first.  Per-op dispatch overhead
+  is ~10x a big-int op at small widths, but the per-block cost is flat C
+  speed, so it overtakes the int backing once words grow to tens of
+  thousands of lanes (measured crossover on this class of host: ~32k
+  lanes — :data:`NDARRAY_MIN_LANES`).
+
+The compiled code generator (:mod:`repro.sim.compiled`) emits plain
+``&``/``|``/``^``/``~ ... & mask`` expressions, which evaluate
+identically over both backings — the *same* generated source is a
+scalar program when fed ints and a vector program when fed ndarrays.
+The helpers here convert between the two representations losslessly, so
+identity against the 1-lane reference is preserved bit for bit either
+way.
+
+``RESCUE_VECTOR_BACKING=int|ndarray`` forces a backing globally;
+``RESCUE_NDARRAY_MIN_LANES`` moves the auto crossover.  When numpy is
+missing entirely the vector tier is unavailable and lane widths degrade
+to the classic 64-lane packing (with a one-time logged warning) — see
+:func:`repro.engine.lanes.resolve_lane_width`.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+try:  # numpy is a declared dependency, but degrade rather than crash
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
+HAVE_NUMPY = _np is not None
+np = _np
+
+log = logging.getLogger(__name__)
+
+#: Bits per ndarray block (numpy uint64).
+BLOCK_BITS = 64
+
+#: Env override for the backing choice: ``int``, ``ndarray`` or unset/auto.
+ENV_BACKING = "RESCUE_VECTOR_BACKING"
+
+#: Auto crossover: below this lane count the int backing wins (big-int
+#: ops are near width-insensitive), above it the ndarray backing's flat
+#: per-block cost takes over.  Measured on this class of host; override
+#: with ``RESCUE_NDARRAY_MIN_LANES``.
+NDARRAY_MIN_LANES = int(os.environ.get("RESCUE_NDARRAY_MIN_LANES", 32768))
+
+_warned_no_numpy = False
+
+
+def _warn_no_numpy(context: str) -> None:
+    """One-time logged warning when numpy-backed features degrade."""
+    global _warned_no_numpy
+    if not _warned_no_numpy:
+        log.warning("numpy unavailable: %s — degrading to 64-bit packing",
+                    context)
+        _warned_no_numpy = True
+
+
+def blocks_for(n_lanes: int) -> int:
+    """Number of 64-bit blocks needed for ``n_lanes`` lanes."""
+    return max(1, (n_lanes + BLOCK_BITS - 1) // BLOCK_BITS)
+
+
+def resolve_backing(n_lanes: int, backing: str | None = None) -> str:
+    """Resolve a requested backing (``None`` = auto) for ``n_lanes``.
+
+    Auto picks ``"int"`` below :data:`NDARRAY_MIN_LANES` and
+    ``"ndarray"`` at or above it; the :data:`ENV_BACKING` env var
+    overrides auto (but not an explicit argument).  A forced
+    ``"ndarray"`` without numpy degrades to ``"int"`` with a one-time
+    logged warning — same packed-int semantics, so results are
+    unchanged.
+    """
+    if backing is None:
+        backing = os.environ.get(ENV_BACKING) or None
+    if backing is None:
+        backing = "ndarray" if n_lanes >= NDARRAY_MIN_LANES else "int"
+    if backing not in ("int", "ndarray"):
+        raise ValueError(f"unknown vector backing {backing!r}")
+    if backing == "ndarray" and not HAVE_NUMPY:
+        _warn_no_numpy("ndarray backing requested")
+        backing = "int"
+    return backing
+
+
+def to_blocks(value: int, n_blocks: int):
+    """A packed int as a little-endian uint64 block array."""
+    data = value.to_bytes(n_blocks * 8, "little")
+    # frombuffer returns a read-only view; copy so callers may mutate
+    return np.frombuffer(data, dtype="<u8").astype(np.uint64)
+
+
+def from_blocks(arr) -> int:
+    """The packed int a block array encodes (inverse of to_blocks)."""
+    return int.from_bytes(arr.astype("<u8", copy=False).tobytes(), "little")
+
+
+def zeros(n_blocks: int):
+    """An all-zero lane word (shareable: compiled code never mutates)."""
+    return np.zeros(n_blocks, dtype=np.uint64)
+
+
+def mask_array(n_lanes: int, n_blocks: int | None = None):
+    """The lane mask as a block array: ``n_lanes`` low bits set."""
+    if n_blocks is None:
+        n_blocks = blocks_for(n_lanes)
+    return to_blocks((1 << n_lanes) - 1, n_blocks)
+
+
+def to_block_dict(values, n_blocks: int) -> dict:
+    """Convert a ``net -> packed int`` mapping to ndarray backing."""
+    return {net: to_blocks(val, n_blocks) for net, val in values.items()}

@@ -112,6 +112,7 @@ def run_campaign(
     workers: int = 1,
     executor: str = "auto",
     lane_width: int | None = None,
+    lane_backing: str | None = None,
 ) -> SeuCampaignResult:
     """SEU campaign over flops × cycles (exhaustive or sampled).
 
@@ -123,13 +124,17 @@ def run_campaign(
     (serial/thread/process/auto) — results are identical to the serial
     run for any combination.  ``lane_width`` overrides the engine's
     lane packing (injections simulated per packed sequential run;
-    default 64, ``1`` forces the per-point reference path) — outcomes
-    are byte-identical at every width.
+    default 64, ``1`` forces the per-point reference path, widths above
+    64 ride the vector tier — packed big ints or, via
+    ``lane_backing="ndarray"``, numpy block arrays) — outcomes are
+    byte-identical at every width and backing.
     """
     from ..engine.backends import SeuBackend
     from ..engine.core import EngineConfig, run_campaign as run_engine
 
     kwargs = {} if lane_width is None else {"lane_width": lane_width}
+    if lane_backing is not None:
+        kwargs["lane_backing"] = lane_backing
     backend = SeuBackend(circuit, stimuli, targets, cycles, **kwargs)
     config = EngineConfig(workers=workers, sample=sample, seed=seed,
                           executor=executor)

@@ -8,6 +8,7 @@ executors and worker counts.
 """
 
 import pickle
+import time
 
 import pytest
 
@@ -94,6 +95,35 @@ class NoisyBackend:
         return [Injection(point=p, location=f"p{p}", cycle=0,
                           outcome="hit" if rng.random() < 0.3 else "miss")
                 for p in points]
+
+
+class CheapWideLaneBackend:
+    """Batches cheaper than MIN_BATCH_COST_S but denser than a scalar
+    chunk: a vector-tier lane width means each dispatch retires many
+    points, so the auto probe must not bail to thread/serial on the
+    per-batch floor alone.  The 1ms sleep sits between the raw dispatch
+    floor (MIN_DISPATCH_COST_S) and the scalar per-batch floor
+    (MIN_BATCH_COST_S)."""
+
+    name = "cheap-wide"
+    circuit_name = "toy"
+    fault_model = "none"
+    workload = "toy"
+
+    def __init__(self, n: int = 96, lane_width: int = 1024) -> None:
+        self.n = n
+        self.lane_width = lane_width
+
+    def enumerate_points(self):
+        return list(range(self.n))
+
+    def prepare(self) -> None:
+        return None
+
+    def run_batch(self, points):
+        time.sleep(0.001)
+        return [Injection(point=p, location=f"p{p}", cycle=0,
+                          outcome="ok") for p in points]
 
 
 class UnpicklableBackend:
@@ -302,6 +332,30 @@ class TestAutoProbe:
                                          executor="auto"))
         assert _rows(auto) == _rows(serial)
         assert auto.total == serial.planned
+
+    def test_wide_lane_cheap_batches_still_pick_process(self, monkeypatch):
+        # a vector-tier chunk (lane_width > 64) retires up to lane_width
+        # points per dispatch, so the conservative per-batch floor must
+        # not send large wide-lane campaigns to the serial loop: only
+        # batches below the raw dispatch cost bail
+        monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)
+        # "enough remaining work" at ~1ms batches, without a slow test
+        monkeypatch.setattr(executors, "MIN_CAMPAIGN_COST_S", 0.005)
+        backend = CheapWideLaneBackend(lane_width=1024)
+        points = list(backend.enumerate_points())
+        chunks = [points[i:i + 8] for i in range(0, len(points), 8)]
+        seeds = [chunk_seed(0, i) for i in range(len(chunks))]
+        plan = plan_executor(backend, chunks, EngineConfig(workers=2), seeds)
+        assert plan.name == "process"
+        assert plan.payload is not None
+        # the scalar-width control with the identical cost profile bails
+        # at the per-batch floor (its sleepy batches release the GIL, so
+        # the fallback probe then picks threads)
+        control = CheapWideLaneBackend(lane_width=1)
+        plan1 = plan_executor(control, chunks, EngineConfig(workers=2),
+                              seeds)
+        assert plan1.name in ("thread", "serial")
+        assert "below process dispatch overhead" in plan1.reason
 
     def test_costly_picklable_campaign_resolves_process(self, monkeypatch):
         monkeypatch.setattr(executors, "_usable_cpus", lambda: 4)

@@ -3,14 +3,20 @@ the persistent worker pool, and the round-batching facades.
 
 The load-bearing property is *lane exactness*: packed campaigns must
 produce byte-identical outcome multisets to the per-point path at every
-lane width, on every executor, with and without the point-filter stage.
+lane width — including vector-tier widths beyond 64, on both the
+packed-int and ndarray backings — on every executor, with and without
+the point-filter stage.
 """
 
+import logging
 from functools import partial
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.circuit import load
+from repro.circuit.library import random_sequential
 from repro.engine import (
     CompositeBackend,
     EngineConfig,
@@ -23,11 +29,17 @@ from repro.engine import executors as executors_mod
 from repro.engine import lanes
 from repro.engine.workloads import GpgpuSeuBackend
 from repro.faults import collapse
+from repro.sim import compiled, vector
 from repro.soft_error import random_workload
 from repro.soft_error.seu import _golden_run, inject_seu
 
 WIDTHS = (1, 7, 64)
+VECTOR_WIDTHS = (65, 192, 1000)
+BACKINGS = ("int", "ndarray")
 EXECUTORS = ("serial", "thread", "process")
+
+needs_numpy = pytest.mark.skipif(not vector.HAVE_NUMPY,
+                                 reason="numpy not installed")
 
 
 @pytest.fixture(scope="module")
@@ -140,6 +152,166 @@ class TestSeuLanes:
         second = run_campaign(backend, EngineConfig(executor="serial"))
         assert len(calls) == n_first  # cached: no recompute on rerun
         assert _rows(first) == _rows(second)
+
+
+# ----------------------------------------------------------------------
+# vector tier: widths beyond 64 on both backings
+# ----------------------------------------------------------------------
+class TestVectorLanes:
+    @pytest.fixture(scope="class")
+    def reference_rows(self, seq_setup):
+        circuit, workload = seq_setup
+        report = run_campaign(
+            SeuBackend(circuit.copy(), workload, lane_width=1),
+            EngineConfig(executor="serial"))
+        return _rows(report)
+
+    @needs_numpy
+    @pytest.mark.parametrize("backing", BACKINGS)
+    @pytest.mark.parametrize("width", VECTOR_WIDTHS)
+    def test_seu_identical_to_per_point(self, seq_setup, reference_rows,
+                                        width, backing):
+        circuit, workload = seq_setup
+        backend = SeuBackend(circuit.copy(), workload, lane_width=width,
+                             lane_backing=backing)
+        report = run_campaign(backend, EngineConfig(executor="serial"))
+        assert _rows(report) == reference_rows
+        backend.prepare()
+        assert backend._lane_ctx.backing == backing
+
+    @needs_numpy
+    @pytest.mark.parametrize("backing", BACKINGS)
+    def test_slicing_identical_to_64(self, backing):
+        circuit = load("rand_seq")
+        faults, _ = collapse(circuit)
+        faults = faults[:30]
+        workload = random_workload(circuit, 12, seed=3)
+        ref = run_campaign(
+            SlicingBackend(circuit.copy(), faults, workload, lane_width=64),
+            EngineConfig(batch_size=32, executor="serial"))
+        wide = run_campaign(
+            SlicingBackend(circuit.copy(), faults, workload, lane_width=192,
+                           lane_backing=backing),
+            EngineConfig(batch_size=32, executor="serial"))
+        assert sorted(_rows(wide)) == sorted(_rows(ref))
+
+    @needs_numpy
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           width=st.sampled_from(VECTOR_WIDTHS),
+           backing=st.sampled_from(BACKINGS))
+    def test_property_vector_equals_packed_equals_interpreter(
+            self, seed, width, backing):
+        circuit = random_sequential(n_inputs=5, n_gates=40, n_flops=6,
+                                    n_outputs=4, seed=seed)
+        workload = random_workload(circuit, 10, seed=seed + 1)
+
+        def rows(width_, backing_=None):
+            backend = SeuBackend(circuit.copy(), workload,
+                                 lane_width=width_, lane_backing=backing_)
+            return _rows(run_campaign(backend,
+                                      EngineConfig(executor="serial")))
+
+        packed = rows(64)
+        assert rows(width, backing) == packed
+        with compiled.disabled():
+            assert rows(width, backing) == packed  # interpreter reference
+
+    @needs_numpy
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_wide_lanes_across_executors(self, seq_setup, executor):
+        circuit, workload = seq_setup
+        serial = run_campaign(
+            SeuBackend(circuit.copy(), workload, lane_width=256),
+            EngineConfig(batch_size=64, executor="serial"))
+        other = run_campaign(
+            SeuBackend(circuit.copy(), workload, lane_width=256),
+            EngineConfig(batch_size=64, workers=2, executor=executor))
+        assert _rows(other) == _rows(serial)
+        shutdown_pools()
+
+    @needs_numpy
+    def test_ndarray_backing_survives_process_pickling(self, seq_setup):
+        circuit, workload = seq_setup
+        serial = run_campaign(
+            SeuBackend(circuit.copy(), workload, lane_width=1),
+            EngineConfig(executor="serial"))
+        shipped = run_campaign(
+            SeuBackend(circuit.copy(), workload, lane_width=192,
+                       lane_backing="ndarray"),
+            EngineConfig(batch_size=64, workers=2, executor="process"))
+        assert _rows(shipped) == _rows(serial)
+        shutdown_pools()
+
+    @needs_numpy
+    def test_auto_backing_crossover(self, seq_setup, monkeypatch):
+        circuit, workload = seq_setup
+        ctx = lanes.build_context(circuit, workload, 256)
+        assert ctx.backing == "int"  # below the crossover
+        monkeypatch.setattr(vector, "NDARRAY_MIN_LANES", 128)
+        ctx = lanes.build_context(circuit, workload, 256)
+        assert ctx.backing == "ndarray"
+        monkeypatch.setenv(vector.ENV_BACKING, "int")
+        ctx = lanes.build_context(circuit, workload, 256)
+        assert ctx.backing == "int"  # env override beats auto
+
+    @needs_numpy
+    def test_ndarray_backing_falls_back_under_no_compile(self, seq_setup):
+        # the ndarray fast path rides the compiled step program; with
+        # compilation disabled the context must fall back to big ints
+        # (SequentialSim carries them at any width)
+        circuit, workload = seq_setup
+        with compiled.disabled():
+            ctx = lanes.build_context(circuit, workload, 192,
+                                      backing="ndarray")
+            assert ctx.backing == "int"
+
+    def test_degrades_to_64_without_numpy(self, seq_setup, monkeypatch,
+                                          caplog):
+        circuit, workload = seq_setup
+        monkeypatch.setattr(vector, "HAVE_NUMPY", False)
+        monkeypatch.setattr(vector, "_warned_no_numpy", False)
+        with caplog.at_level(logging.WARNING, logger="repro.sim.vector"):
+            backend = SeuBackend(circuit.copy(), workload, lane_width=1000)
+        assert backend.lane_width == 64  # degraded, not crashed
+        assert any("numpy unavailable" in rec.message
+                   for rec in caplog.records)
+        # the warning is one-time: a second backend stays quiet
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.sim.vector"):
+            SeuBackend(circuit.copy(), workload, lane_width=1000)
+        assert not caplog.records
+        # and outcomes still match the packed-64 reference
+        report = run_campaign(backend, EngineConfig(executor="serial"))
+        ref = run_campaign(
+            SeuBackend(circuit.copy(), workload, lane_width=64),
+            EngineConfig(executor="serial"))
+        assert _rows(report) == _rows(ref)
+
+    @needs_numpy
+    def test_wide_default_batches_fill_the_lane(self, seq_setup):
+        # the engine raises the default batch size to one full lane for
+        # vector-tier widths (underfilled wide words waste the tier)
+        circuit, workload = seq_setup
+        sizes = []
+        previous = 0
+
+        def on_chunk(report):
+            nonlocal previous
+            sizes.append(report.total - previous)
+            previous = report.total
+
+        backend = SeuBackend(circuit.copy(), workload, lane_width=128)
+        run_campaign(backend, EngineConfig(executor="serial"),
+                     on_chunk=on_chunk)
+        assert all(size == 128 for size in sizes[:-1])
+        # an explicit batch_size is respected
+        sizes.clear()
+        previous = 0
+        backend = SeuBackend(circuit.copy(), workload, lane_width=128)
+        run_campaign(backend, EngineConfig(batch_size=32, executor="serial"),
+                     on_chunk=on_chunk)
+        assert all(size == 32 for size in sizes[:-1])
 
 
 # ----------------------------------------------------------------------
