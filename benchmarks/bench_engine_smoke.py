@@ -44,6 +44,13 @@ Four measurements:
     carries the >= 2x-over-packed CI gate (target >= 3x).  The section
     also records the source-interning effect on a cold det-program
     sweep (sites vs unique compiled sources, cold vs warm).
+11. **Resilience**: a campaign aborted mid-flight and resumed from its
+    CampaignDb checkpoints against the uninterrupted reference
+    (byte-identical rows, outcomes, counts and convergence — gated
+    unconditionally); a persistently-failing chunk (ChaosBackend)
+    quarantined without failing the campaign; and the cost of the
+    armed fault-tolerance machinery (retries + timeout accounting) on
+    a no-fault run, min-of-3, gated at <= 5% overhead.
 
 Runs standalone (``python benchmarks/bench_engine_smoke.py``) or under
 pytest; both write ``BENCH_engine.json`` at the repo root.
@@ -63,11 +70,14 @@ from repro.circuit import load
 from repro.circuit.library import random_combinational
 from repro.core import CampaignDb, format_table
 from repro.engine import (
+    ChaosBackend,
+    ChaosFault,
     EngineConfig,
     GpgpuSeuBackend,
     PpsfpBackend,
     RsnDiagnosisBackend,
     SeuBackend,
+    resume_campaign,
     run_campaign,
 )
 from repro.engine.executors import _usable_cpus as _host_cpus
@@ -720,6 +730,97 @@ def _pattern_shipping_measurement(n_inputs=48, n_gates=600,
     }
 
 
+# ----------------------------------------------------------------------
+# resilience: kill-and-resume identity, quarantine, retry overhead
+# ----------------------------------------------------------------------
+def _resilience_measurement(n_cycles=60, abort_after=5, rounds=3):
+    circuit = load("rand_seq")
+    workload = random_workload(circuit, n_cycles, seed=7)
+    population = len(circuit.flops) * n_cycles
+
+    def make_backend():
+        return SeuBackend(circuit.copy(), workload, lane_width=1)
+
+    config = EngineConfig(batch_size=24, executor="serial")
+
+    def signature(report):
+        return ([(i.location, i.cycle, i.outcome) for i in report.injections],
+                report.outcomes, report.total, report.converged,
+                report.confidence_interval("failure"))
+
+    # kill-and-resume identity: abort mid-campaign from the accounting
+    # path (the checkpoints for accounted chunks are already committed),
+    # then resume on the same db and compare against an uninterrupted run
+    ref_db = CampaignDb()
+    reference = run_campaign(make_backend(), config, db=ref_db)
+    ref_db.close()
+
+    class _Abort(Exception):
+        pass
+
+    seen = {"n": 0, "campaign_id": None}
+
+    def hook(report):
+        seen["campaign_id"] = report.campaign_id
+        seen["n"] += 1
+        if seen["n"] >= abort_after:
+            raise _Abort
+
+    db = CampaignDb()
+    try:
+        run_campaign(make_backend(), config, db=db, on_chunk=hook)
+    except _Abort:
+        pass
+    resumed = resume_campaign(make_backend(), seen["campaign_id"], config,
+                              db=db)
+    db.close()
+    resume_identical = signature(resumed) == signature(reference)
+
+    # quarantine: a chunk that fails every retry becomes a first-class
+    # 'failed' stratum; the rest of the campaign completes untouched
+    victim = make_backend()
+    trigger = victim.enumerate_points()[30]  # chunk 1 of 24-point chunks
+    chaos = ChaosBackend(victim, [ChaosFault(trigger, "raise", None)])
+    qreport = run_campaign(
+        chaos, EngineConfig(batch_size=24, executor="serial",
+                            max_chunk_retries=1, retry_backoff_s=0.001))
+    quarantine_ok = (
+        len(qreport.quarantined) == 1
+        and qreport.quarantined[0].n_points == 24
+        and qreport.total == population - qreport.quarantined_points
+        and "quarantined" in qreport.describe())
+
+    # retry overhead: the armed machinery (bounded retries, timeout
+    # accounting, per-chunk validation) against a config with retries
+    # off, both on the identical no-fault serial campaign, min-of-3
+    def timed(cfg):
+        best = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            run_campaign(make_backend(), cfg)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None or elapsed < best else best
+        return best
+
+    guarded_s = timed(EngineConfig(batch_size=24, executor="serial",
+                                   max_chunk_retries=2, chunk_timeout=30.0))
+    bare_s = timed(EngineConfig(batch_size=24, executor="serial",
+                                max_chunk_retries=0))
+    return {
+        "circuit": circuit.name,
+        "population": population,
+        "abort_after_chunks": abort_after,
+        "resume_identical": resume_identical,
+        "resumed_chunks": resumed.resumed_chunks,
+        "quarantine_ok": quarantine_ok,
+        "quarantined_points": qreport.quarantined_points,
+        "guarded_s": round(guarded_s, 4),
+        "bare_s": round(bare_s, 4),
+        "retry_overhead": round(guarded_s / bare_s, 3) if bare_s
+        else float("inf"),
+    }
+
+
 def run_smoke():
     cpus = _host_cpus()
     seu = _seu_scaling()
@@ -741,6 +842,7 @@ def run_smoke():
         "compiled_sim": _compiled_sim_measurement(),
         "pattern_shipping": _pattern_shipping_measurement(),
         "vector_core": _vector_core_measurement(),
+        "resilience": _resilience_measurement(),
     }
     if cpus < 2:
         record["note"] = (
@@ -820,6 +922,19 @@ def test_engine_smoke(benchmark):
                  f"{intern['compiled_sites']} sites / "
                  f"{intern['unique_sources']} sources",
                  f"{intern['cold_vs_warm']:.2f}x warm"))
+    res = record["resilience"]
+    rows.append(("resilience kill+resume",
+                 f"{res['resumed_chunks']} chunks replayed",
+                 f"{res['population']} inj",
+                 "identical" if res["resume_identical"] else "MISMATCH"))
+    rows.append(("resilience quarantine",
+                 f"{res['quarantined_points']} points failed",
+                 "campaign completed",
+                 "ok" if res["quarantine_ok"] else "FAIL"))
+    rows.append(("resilience retry overhead",
+                 f"{res['guarded_s']:.3f}s armed",
+                 f"{res['bare_s']:.3f}s bare",
+                 f"{res['retry_overhead']:.3f}x"))
     ship = record["pattern_shipping"]
     rows.append(("ppsfp payload inline",
                  f"{ship['backend_inline_bytes']} B",

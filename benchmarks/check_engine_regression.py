@@ -21,6 +21,10 @@ when the engine's perf claims regress:
   (unconditional), or the 256-lane vector SEU campaign fell below 2x
   over the packed-64 compiled path (the headline target is >= 3x), or
   source interning stopped deduplicating det-program sources;
+* kill-and-resume no longer reproduces the uninterrupted campaign
+  byte-for-byte (unconditional), a persistently-failing chunk stopped
+  being quarantined cleanly, or the armed fault-tolerance machinery
+  costs more than 5% on a no-fault run;
 * on a multicore host, the process executor at 4 workers is slower than
   serial on the SEU workload.  The stretch target — >= 2x on hosts with
   >= 4 CPUs — is reported as a warning, not enforced, until a real
@@ -138,6 +142,23 @@ def check(record: dict) -> list[str]:
                 f"sources ({intern['unique_sources']} sources for "
                 f"{intern['compiled_sites']} sites)")
 
+    res = record.get("resilience")
+    if res is None:
+        failures.append("resilience rows missing from the bench record")
+    else:
+        if not res["resume_identical"]:
+            failures.append(
+                "kill-and-resume no longer reproduces the uninterrupted "
+                "campaign byte-for-byte")
+        if not res["quarantine_ok"]:
+            failures.append(
+                "persistent chunk failure is no longer quarantined cleanly")
+        if res["retry_overhead"] > 1.05:
+            failures.append(
+                f"armed fault-tolerance machinery costs "
+                f"{res['retry_overhead']}x on a no-fault run "
+                "(floor 1.05x)")
+
     scaling = record["executor_scaling"]
     for workload in PORTED_WORKLOADS:
         if workload not in scaling:
@@ -177,13 +198,15 @@ def main(argv: list[str]) -> int:
     lanes = record["lane_packing"]["seu"]
     csim = record["compiled_sim"]
     vcore = record["vector_core"]
+    res = record["resilience"]
     print(f"engine perf gate OK (host_cpus={record.get('host_cpus')}, "
           f"seu process_x4 speedup {seu['process_x4_speedup']}x, "
           f"packed seu {lanes['packed_speedup']}x, "
           f"compiled ppsfp warm {csim['ppsfp']['warm_speedup']}x / "
           f"seu {csim['seu']['speedup']}x, "
           f"vector seu x256 {vcore['vector_speedup_256']}x / "
-          f"x1024 {vcore['vector_speedup_1024']}x)")
+          f"x1024 {vcore['vector_speedup_1024']}x, "
+          f"resume identical, retry overhead {res['retry_overhead']}x)")
     return 0
 
 

@@ -6,6 +6,16 @@ analysis of complex circuits."  This module is that database: campaign
 records persist to SQLite (stdlib), are queryable by circuit/fault
 model/outcome, and aggregate into the cross-campaign statistics that
 downstream cross-layer techniques consume.
+
+The store is also the engine's **checkpoint log**: each executed chunk
+of a campaign is recorded — injection rows plus a ``chunks`` row keyed
+by ``(campaign_id, chunk_index)`` — inside one transaction, so a killed
+campaign restarts from its last committed chunk
+(:func:`repro.engine.core.run_campaign` with ``resume=``).  File-backed
+connections run in WAL mode with a busy timeout, and chunk writes are
+idempotent (``INSERT OR IGNORE`` on the chunk key): replaying a chunk
+whose record already committed is a no-op, so a crash between commit
+and checkpoint can never double-count on resume.
 """
 
 from __future__ import annotations
@@ -31,11 +41,38 @@ CREATE TABLE IF NOT EXISTS injections (
     campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
     location TEXT NOT NULL,
     cycle INTEGER NOT NULL DEFAULT 0,
-    outcome TEXT NOT NULL
+    outcome TEXT NOT NULL,
+    chunk_index INTEGER
+);
+CREATE TABLE IF NOT EXISTS chunks (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    chunk_index INTEGER NOT NULL,
+    seed INTEGER NOT NULL DEFAULT 0,
+    n_points INTEGER NOT NULL DEFAULT 0,
+    status TEXT NOT NULL DEFAULT 'done',
+    attempts INTEGER NOT NULL DEFAULT 1,
+    error TEXT,
+    PRIMARY KEY (campaign_id, chunk_index)
 );
 CREATE INDEX IF NOT EXISTS idx_inj_campaign ON injections(campaign_id);
 CREATE INDEX IF NOT EXISTS idx_inj_outcome ON injections(outcome);
 """
+
+#: How long a writer waits on a locked database before failing (ms).
+BUSY_TIMEOUT_MS = 5000
+
+_U64 = 1 << 64
+_I64_MAX = (1 << 63) - 1
+
+
+def _seed_to_db(seed: int) -> int:
+    """Chunk seeds are unsigned 64-bit; SQLite INTEGER is signed 64-bit.
+    Store the two's-complement image and invert on read."""
+    return seed - _U64 if seed > _I64_MAX else seed
+
+
+def _seed_from_db(stored: int) -> int:
+    return stored + _U64 if stored < 0 else stored
 
 
 @dataclass(frozen=True)
@@ -53,6 +90,23 @@ class CampaignSummary:
         return self.outcomes.get(outcome, 0) / self.total if self.total else 0.0
 
 
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One checkpointed chunk of a campaign.
+
+    ``status`` is ``"done"`` (executed, injection rows committed in the
+    same transaction) or ``"failed"`` (quarantined after exhausting its
+    retries — no injection rows; resume re-executes it).
+    """
+
+    chunk_index: int
+    seed: int
+    n_points: int
+    status: str
+    attempts: int
+    error: str | None
+
+
 class CampaignDb:
     """SQLite-backed campaign store (':memory:' by default)."""
 
@@ -61,8 +115,35 @@ class CampaignDb:
         # accounting thread, but that may not be the thread that built
         # this object (e.g. a campaign dispatched onto an outer pool).
         self.conn = sqlite3.connect(str(path), check_same_thread=False)
+        # Crash consistency + concurrency: WAL keeps readers unblocked
+        # and makes every committed transaction durable across a killed
+        # process (in-memory databases report 'memory' and are
+        # unaffected); the busy timeout retries instead of failing when
+        # another campaign holds the write lock.
+        self.conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+        self.conn.execute("PRAGMA journal_mode=WAL")
+        self.conn.execute("PRAGMA synchronous=NORMAL")
         self.conn.executescript(_SCHEMA)
+        self._migrate()
         self._tx_depth = 0
+
+    def _migrate(self) -> None:
+        """Bring pre-checkpoint databases up to the current schema.
+
+        Older stores lack ``injections.chunk_index`` (the ``chunks``
+        table itself is covered by ``CREATE TABLE IF NOT EXISTS``); the
+        chunk index on injections can only be built once the column
+        exists, so it lives here rather than in ``_SCHEMA``.
+        """
+        cols = {row[1] for row in
+                self.conn.execute("PRAGMA table_info(injections)")}
+        if "chunk_index" not in cols:
+            self.conn.execute(
+                "ALTER TABLE injections ADD COLUMN chunk_index INTEGER")
+        self.conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_inj_chunk"
+            " ON injections(campaign_id, chunk_index)")
+        self.conn.commit()
 
     def close(self) -> None:
         self.conn.close()
@@ -82,6 +163,16 @@ class CampaignDb:
             (name, circuit, fault_model, workload, json.dumps(params or {})))
         self._maybe_commit()
         return int(cur.lastrowid)
+
+    def campaign_params(self, campaign_id: int) -> dict:
+        """The params dict a campaign was created with (resume reads the
+        config fingerprint out of it)."""
+        row = self.conn.execute(
+            "SELECT params FROM campaigns WHERE id=?",
+            (campaign_id,)).fetchone()
+        if row is None:
+            raise KeyError(f"no campaign {campaign_id}")
+        return json.loads(row[0])
 
     @contextmanager
     def transaction(self) -> Iterator["CampaignDb"]:
@@ -119,12 +210,84 @@ class CampaignDb:
         self._maybe_commit()
 
     def record_many(self, campaign_id: int,
-                    rows: list[tuple[str, int, str]]) -> None:
+                    rows: list[tuple[str, int, str]],
+                    chunk_index: int | None = None) -> None:
         self.conn.executemany(
-            "INSERT INTO injections (campaign_id, location, cycle, outcome)"
-            " VALUES (?, ?, ?, ?)",
-            [(campaign_id, loc, cyc, out) for loc, cyc, out in rows])
+            "INSERT INTO injections (campaign_id, location, cycle, outcome,"
+            " chunk_index) VALUES (?, ?, ?, ?, ?)",
+            [(campaign_id, loc, cyc, out, chunk_index)
+             for loc, cyc, out in rows])
         self._maybe_commit()
+
+    # ------------------------------------------------------------------
+    # chunk checkpointing: the engine's crash-consistent progress log
+    # ------------------------------------------------------------------
+    def record_chunk(self, campaign_id: int, chunk_index: int,
+                     rows: list[tuple[str, int, str]], seed: int = 0,
+                     status: str = "done", attempts: int = 1,
+                     error: str | None = None) -> bool:
+        """Checkpoint one chunk: its injection rows plus a ``chunks``
+        record, idempotently.
+
+        ``INSERT OR IGNORE`` on the ``(campaign_id, chunk_index)`` key
+        makes replays no-ops: if the chunk record already committed, the
+        rows are *not* inserted again, so resuming past an
+        already-checkpointed chunk can never double-count.  The one
+        permitted overwrite is ``failed`` → ``done``: a quarantined
+        chunk that a later resume re-executed successfully upgrades its
+        record (a quarantine row carries no injections, so nothing is
+        duplicated).  Call inside :meth:`transaction` to bundle several
+        chunks into one crash-consistent commit.
+
+        Returns True when the chunk was newly recorded (or upgraded).
+        """
+        cur = self.conn.execute(
+            "INSERT OR IGNORE INTO chunks (campaign_id, chunk_index, seed,"
+            " n_points, status, attempts, error) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (campaign_id, chunk_index, _seed_to_db(seed), len(rows), status,
+             attempts, error))
+        fresh = cur.rowcount > 0
+        if not fresh:
+            prev = self.conn.execute(
+                "SELECT status FROM chunks WHERE campaign_id=? AND"
+                " chunk_index=?", (campaign_id, chunk_index)).fetchone()[0]
+            if prev == "failed" and status == "done":
+                self.conn.execute(
+                    "UPDATE chunks SET status='done', n_points=?, attempts=?,"
+                    " error=NULL WHERE campaign_id=? AND chunk_index=?",
+                    (len(rows), attempts, campaign_id, chunk_index))
+                self.conn.execute(
+                    "DELETE FROM injections WHERE campaign_id=? AND"
+                    " chunk_index=?", (campaign_id, chunk_index))
+                fresh = True
+        if fresh and status == "done" and rows:
+            self.record_many(campaign_id, rows, chunk_index=chunk_index)
+        self._maybe_commit()
+        return fresh
+
+    def chunk_records(self, campaign_id: int) -> dict[int, ChunkRecord]:
+        """Every checkpointed chunk of a campaign, keyed by index."""
+        return {
+            index: ChunkRecord(index, _seed_from_db(seed), n_points, status,
+                               attempts, error)
+            for index, seed, n_points, status, attempts, error
+            in self.conn.execute(
+                "SELECT chunk_index, seed, n_points, status, attempts, error"
+                " FROM chunks WHERE campaign_id=? ORDER BY chunk_index",
+                (campaign_id,))
+        }
+
+    def chunk_rows(self, campaign_id: int
+                   ) -> dict[int, list[tuple[str, int, str]]]:
+        """Checkpointed injection rows grouped by chunk, in insert order
+        (= execution order within each chunk)."""
+        grouped: dict[int, list[tuple[str, int, str]]] = {}
+        for index, loc, cyc, out in self.conn.execute(
+                "SELECT chunk_index, location, cycle, outcome FROM injections"
+                " WHERE campaign_id=? AND chunk_index IS NOT NULL ORDER BY id",
+                (campaign_id,)):
+            grouped.setdefault(index, []).append((loc, cyc, out))
+        return grouped
 
     # ------------------------------------------------------------------
     def summary(self, campaign_id: int) -> CampaignSummary:

@@ -28,10 +28,14 @@ from .core import (
     EngineConfig,
     Injection,
     InjectionBackend,
+    QuarantinedChunk,
+    resume_campaign,
     run_campaign,
 )
 from .executors import (
     EXECUTOR_CHOICES,
+    ChunkError,
+    ChunkTimeout,
     ExecutorPlan,
     chunk_seed,
     plan_executor,
@@ -56,16 +60,35 @@ _WORKLOAD_EXPORTS = frozenset({
 })
 
 
+#: Exports resolved lazily from ``.chaos`` (same rationale: the chaos
+#: wrapper is a test/CI tool, not worker-import baggage).
+_CHAOS_EXPORTS = frozenset({
+    "ChaosBackend",
+    "ChaosError",
+    "ChaosFault",
+})
+
+
 def __getattr__(name: str):
     if name in _WORKLOAD_EXPORTS or name == "workloads":
         from importlib import import_module
 
         workloads = import_module(".workloads", __name__)
         return workloads if name == "workloads" else getattr(workloads, name)
+    if name in _CHAOS_EXPORTS or name == "chaos":
+        from importlib import import_module
+
+        chaos = import_module(".chaos", __name__)
+        return chaos if name == "chaos" else getattr(chaos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CampaignReport",
+    "ChaosBackend",
+    "ChaosError",
+    "ChaosFault",
+    "ChunkError",
+    "ChunkTimeout",
     "CompositeBackend",
     "DEFAULT_LANE_WIDTH",
     "DETECTED",
@@ -78,6 +101,7 @@ __all__ = [
     "InjectionBackend",
     "LaserFiBackend",
     "PpsfpBackend",
+    "QuarantinedChunk",
     "RsnDiagnosisBackend",
     "SKIP_DEAD_FLOP",
     "SKIP_NO_ACTIVATION",
@@ -92,6 +116,7 @@ __all__ = [
     "plan_executor",
     "point_seed",
     "ppsfp_result",
+    "resume_campaign",
     "run_campaign",
     "shutdown_pools",
 ]

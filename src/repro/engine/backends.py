@@ -10,6 +10,17 @@ threads in any order.  Every backend also pickles cleanly before
 and ``prepare()`` is idempotent, which is what the process-pool
 executor needs: the backend ships to each worker once and rebuilds its
 golden runs and caches locally.
+
+Since the engine grew chunk-level fault tolerance, purity and
+idempotence carry one more obligation: execution is **at-least-once**.
+A chunk whose worker died, hung past ``chunk_timeout`` or raised is
+re-executed — possibly in the parent process, after another
+``prepare()`` — and a checkpointed campaign re-executes any chunk whose
+record never committed.  A backend must therefore produce the same
+injections for the same points on every execution and must not
+accumulate observable side effects across ``run_batch`` calls; all
+backends below satisfy this by construction (their mutable state is
+golden-run caches keyed only by the immutable workload).
 """
 
 from __future__ import annotations

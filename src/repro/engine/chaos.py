@@ -1,0 +1,172 @@
+"""Deterministic harness-fault injection: chaos testing for the engine.
+
+The rest of this package injects faults into *designs*; this module
+injects faults into the *campaign harness itself*, so the engine's
+fault-tolerance machinery — chunk retry with backoff, quarantine, the
+process → thread → serial recovery ladder, chunk timeouts,
+checkpoint/resume — can be driven deterministically in tests and CI
+instead of waiting for a flaky pool in production.
+
+:class:`ChaosBackend` wraps any :class:`~repro.engine.core
+.InjectionBackend` transparently (same ``name``/identity, same
+outcomes, picklable iff the inner backend is) and sabotages the
+execution of chunks containing scripted trigger points:
+
+* ``raise``   — raise :class:`ChaosError` from the batch call;
+* ``hang``    — sleep ``hang_s`` seconds, then raise (drives
+  ``EngineConfig.chunk_timeout``; without a timeout the chunk
+  eventually fails and retries like a ``raise``);
+* ``die``     — ``os._exit`` the *worker* process mid-batch (breaks a
+  process pool; in the parent process it degrades to ``raise`` so a
+  serial campaign is not killed);
+* ``malform`` — return a wrong-shaped result instead of injections.
+
+Each :class:`ChaosFault` fires for its first ``failures`` executions of
+the triggering chunk and then lets it run clean — exactly the shape of
+a transient harness fault the retry loop must survive.  The attempt
+counter lives in a scratch directory as ``O_CREAT | O_EXCL`` marker
+files, so it counts correctly across worker *processes* (a worker that
+died mid-chunk has still consumed an attempt) and needs no shared
+memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+CHAOS_MODES = ("raise", "hang", "die", "malform")
+
+
+class ChaosError(RuntimeError):
+    """The synthetic failure a scripted harness fault raises."""
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One scripted harness fault.
+
+    ``trigger`` is an injection *point*; the fault fires on any batch
+    containing it (matched by ``repr``, since points cross process
+    boundaries by pickling).  ``failures`` is how many executions of
+    that batch to sabotage — ``None`` sabotages every one, which is how
+    a *persistent* failure (quarantine path) is scripted.
+    """
+
+    trigger: Any
+    mode: str = "raise"
+    failures: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in CHAOS_MODES:
+            raise ValueError(f"unknown chaos mode {self.mode!r}; "
+                             f"pick one of {CHAOS_MODES}")
+
+
+class ChaosBackend:
+    """Transparent fault-injecting wrapper around any backend.
+
+    Identity attributes mirror the wrapped backend exactly, so a
+    campaign run under chaos has the same fingerprint as a clean one —
+    a checkpointed chaos run can resume with the bare backend, which is
+    precisely the "harness fixed, campaign resumed" scenario.
+    """
+
+    def __init__(self, inner: Any, faults: Iterable[ChaosFault],
+                 scratch_dir: str | None = None,
+                 hang_s: float = 30.0) -> None:
+        self.inner = inner
+        self.faults = list(faults)
+        self.hang_s = hang_s
+        self.scratch_dir = scratch_dir or tempfile.mkdtemp(
+            prefix="repro-chaos-")
+        self._parent_pid = os.getpid()
+        self.name = inner.name
+        self.circuit_name = inner.circuit_name
+        self.fault_model = inner.fault_model
+        self.workload = inner.workload
+        self._trigger_reprs = [repr(f.trigger) for f in self.faults]
+
+    # -- delegation ----------------------------------------------------
+    def enumerate_points(self) -> Sequence[Any]:
+        return self.inner.enumerate_points()
+
+    def prepare(self) -> None:
+        self.inner.prepare()
+
+    def run_batch(self, points: Sequence[Any]) -> list:
+        garbage = self._maybe_sabotage(points)
+        if garbage is not None:
+            return garbage
+        return self.inner.run_batch(points)
+
+    def __getattr__(self, name: str):
+        # Optional-protocol hooks (lane_width, filter_points, use_filter,
+        # __getstate__, ...) must look absent when the inner backend
+        # lacks them; "inner" itself may be missing mid-unpickle.
+        if name.startswith("__") or "inner" not in self.__dict__:
+            raise AttributeError(name)
+        inner = self.__dict__["inner"]
+        if name == "run_batch_seeded":
+            seeded = getattr(inner, "run_batch_seeded")  # may raise: good
+
+            def run_batch_seeded(points: Sequence[Any], rng: Any) -> list:
+                garbage = self._maybe_sabotage(points)
+                if garbage is not None:
+                    return garbage
+                return seeded(points, rng)
+
+            return run_batch_seeded
+        return getattr(inner, name)
+
+    # -- sabotage ------------------------------------------------------
+    def _claim_attempt(self, fault_index: int) -> int:
+        """The next attempt ordinal for this fault, claimed atomically
+        across processes via O_EXCL marker files."""
+        key = hashlib.sha1(
+            self._trigger_reprs[fault_index].encode()).hexdigest()[:12]
+        ordinal = 0
+        while True:
+            path = os.path.join(self.scratch_dir,
+                                f"{key}.{fault_index}.{ordinal}")
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                ordinal += 1
+                continue
+            os.close(fd)
+            return ordinal
+
+    def _maybe_sabotage(self, points: Sequence[Any]) -> list | None:
+        """Fire any armed fault whose trigger is in this batch.  Returns
+        a malformed result for ``malform`` mode, else None (run clean)."""
+        for index, fault in enumerate(self.faults):
+            trigger = self._trigger_reprs[index]
+            if not any(repr(point) == trigger for point in points):
+                continue
+            attempt = self._claim_attempt(index)
+            if fault.failures is not None and attempt >= fault.failures:
+                continue  # budget spent: this execution runs clean
+            if fault.mode == "hang":
+                time.sleep(self.hang_s)
+                raise ChaosError(
+                    f"hung execution {attempt} of chunk containing "
+                    f"{fault.trigger!r} woke up")
+            if fault.mode == "die":
+                if os.getpid() != self._parent_pid:
+                    os._exit(17)  # a real worker death: no cleanup, no trace
+                # in the parent, dying would kill the campaign process
+                # itself — degrade to a raise so serial runs stay testable
+                raise ChaosError(
+                    f"die-in-worker fault hit in the parent process "
+                    f"(execution {attempt})")
+            if fault.mode == "malform":
+                return ["<malformed chaos result>"]
+            raise ChaosError(
+                f"injected failure {attempt} on chunk containing "
+                f"{fault.trigger!r}")
+        return None

@@ -20,7 +20,15 @@ accounting.  This module is the one execution core behind all of them:
   the requested margin;
 * streaming batched persistence of every injection into
   :class:`repro.core.campaign.CampaignDb`, so cross-campaign queries see
-  all workloads in one place.
+  all workloads in one place;
+* **fault tolerance for the campaign itself**: every executed chunk is
+  checkpointed to the database in crash-consistent transactions, so a
+  killed campaign resumes from its last committed chunk
+  (``run_campaign(resume=...)`` / :func:`resume_campaign`) with a
+  byte-identical report; a failing or hung chunk is retried with
+  bounded exponential backoff and eventually **quarantined** as a
+  first-class ``failed`` stratum, while executor-level failures walk a
+  recovery ladder (process → thread → serial) instead of aborting.
 
 DAVOS-style iterative statistical injection, reduced to the smallest
 core that every workload can share.
@@ -28,6 +36,8 @@ core that every workload can share.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import logging
 import pickle
 import random
@@ -152,6 +162,16 @@ class EngineConfig:
     pay worker spawn and module imports once instead of per campaign;
     the campaign payload still ships fresh each time.  Set it False to
     restore the one-pool-per-campaign behaviour.
+
+    ``max_chunk_retries`` bounds how often a *failing* chunk is re-run
+    (with exponential backoff starting at ``retry_backoff_s``) before it
+    is quarantined; ``chunk_timeout`` (seconds, ``None`` = wait forever)
+    declares a dispatched chunk hung when its result is overdue — the
+    pool is abandoned, execution degrades one rung of the recovery
+    ladder, and the chunk is retried like any other failure.
+    ``commit_every`` is now the chunk-checkpoint cadence: every commit
+    is a crash-consistent batch of per-chunk records that ``resume=``
+    can restart from.
     """
 
     batch_size: int = 64
@@ -160,14 +180,40 @@ class EngineConfig:
     shuffle: bool = False
     seed: int = 0
     early_stop: EarlyStop | None = None
-    commit_every: int = 4  # chunks per CampaignDb commit
+    commit_every: int = 4  # chunk checkpoints per CampaignDb commit
     executor: str = "auto"
     reuse_pool: bool = True
+    max_chunk_retries: int = 2
+    chunk_timeout: float | None = None
+    retry_backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_CHOICES:
             raise ValueError(f"unknown executor {self.executor!r}; "
                              f"pick one of {EXECUTOR_CHOICES}")
+        if self.max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive (or None)")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class QuarantinedChunk:
+    """A chunk whose execution kept failing and was excluded.
+
+    Quarantine is the harness-fault analogue of the filter stage: a
+    first-class ``failed`` stratum of the campaign — its points were
+    neither executed nor silently dropped, and the report says so —
+    rather than one bad chunk poisoning everything else.  A later
+    ``resume=`` of the campaign re-executes quarantined chunks.
+    """
+
+    index: int
+    n_points: int
+    attempts: int
+    error: str
 
 
 @dataclass
@@ -178,6 +224,13 @@ class CampaignReport:
     backend's filter stage resolved from golden data alone.  Both are
     first-class outcomes: counts, rates and confidence intervals cover
     their union, so a filter only changes *cost*, never statistics.
+
+    ``quarantined`` is the campaign's ``failed`` stratum: chunks whose
+    execution kept failing (see :class:`QuarantinedChunk`).  Their
+    points are excluded from counts and intervals — an unexecuted point
+    has no outcome — but the stratum is reported, never hidden.
+    ``resumed_chunks`` / ``retried_chunks`` count chunks replayed from a
+    checkpoint and chunks recovered by the retry loop.
     """
 
     backend: str
@@ -193,6 +246,9 @@ class CampaignReport:
     elapsed_s: float = 0.0
     n_workers: int = 1
     executor: str = "serial"  # resolved strategy the campaign ran on
+    quarantined: list[QuarantinedChunk] = field(default_factory=list)
+    resumed_chunks: int = 0
+    retried_chunks: int = 0
 
     @property
     def executed(self) -> int:
@@ -205,6 +261,11 @@ class CampaignReport:
     @property
     def skip_fraction(self) -> float:
         return len(self.skipped) / self.total if self.total else 0.0
+
+    @property
+    def quarantined_points(self) -> int:
+        """Points in chunks the engine gave up executing."""
+        return sum(chunk.n_points for chunk in self.quarantined)
 
     @property
     def outcomes(self) -> dict[str, int]:
@@ -241,16 +302,62 @@ class CampaignReport:
             self.outcomes.items(), key=lambda kv: (-kv[1], kv[0])))
         skipped = (f" + {len(self.skipped)} filtered"
                    if self.skipped else "")
+        resilience = []
+        if self.resumed_chunks:
+            resilience.append(f"{self.resumed_chunks} chunks resumed")
+        if self.retried_chunks:
+            resilience.append(f"{self.retried_chunks} chunks retried")
+        if self.quarantined:
+            resilience.append(
+                f"{len(self.quarantined)} chunks quarantined "
+                f"({self.quarantined_points} points failed)")
+        suffix = f"; {', '.join(resilience)}" if resilience else ""
         return (f"campaign {self.backend}:{self.circuit} [{self.workload}] — "
                 f"{self.executed} executed{skipped} of {self.population} "
                 f"points on {self.executor} x{self.n_workers} "
                 f"({self.injections_per_second:.0f} inj/s"
                 f"{', converged early' if self.converged else ''}); "
-                f"outcomes: {counts or 'none'}")
+                f"outcomes: {counts or 'none'}{suffix}")
 
 
 def _chunked(points: Sequence[Any], size: int) -> list[Sequence[Any]]:
     return [points[i:i + size] for i in range(0, len(points), size)]
+
+
+#: Ceiling on the exponential retry backoff (seconds).
+RETRY_BACKOFF_CAP_S = 2.0
+
+
+def _campaign_fingerprint(backend: InjectionBackend, config: EngineConfig,
+                          batch_size: int, lane_width: int,
+                          population: int, planned: int) -> str:
+    """Identity of a campaign's *deterministic* inputs.
+
+    Stored in the campaign's params at creation and re-derived on
+    ``resume=``: everything that shapes the chunk partition or the
+    outcomes is covered (backend identity, seed/sample/shuffle, the
+    effective chunk size, lane width, early-stop policy, population),
+    while execution policy that provably cannot change results —
+    workers, executor choice, retry budget — is deliberately excluded,
+    so a campaign checkpointed on one executor may resume on another.
+    """
+    stop = config.early_stop
+    payload = json.dumps({
+        "backend": backend.name,
+        "circuit": backend.circuit_name,
+        "fault_model": backend.fault_model,
+        "workload": backend.workload,
+        "seed": config.seed,
+        "sample": config.sample,
+        "shuffle": config.shuffle,
+        "chunk_size": batch_size,
+        "lane_width": lane_width,
+        "early_stop": ([stop.outcome, stop.margin, stop.confidence,
+                        stop.min_injections] if stop else None),
+        "population": population,
+        "planned": planned,
+    }, sort_keys=True)
+    return hashlib.sha1(payload.encode()).hexdigest()[:16]
 
 
 def run_campaign(
@@ -258,6 +365,7 @@ def run_campaign(
     config: EngineConfig = EngineConfig(),
     db: CampaignDb | None = None,
     on_chunk: Callable[[CampaignReport], None] | None = None,
+    resume: int | None = None,
 ) -> CampaignReport:
     """Run a campaign: enumerate → (sample) → filter → chunk → execute.
 
@@ -277,6 +385,28 @@ def run_campaign(
     sample's Wilson half-width by the kept stratum's share of the
     campaign; a filter that resolves every point converges the campaign
     before executing a single batch.
+
+    With a ``db``, every executed chunk is checkpointed (rows + a chunk
+    record keyed by ``(campaign_id, chunk_index)``) in crash-consistent
+    batches of ``config.commit_every`` chunks.  ``resume=campaign_id``
+    rebuilds the same point list and chunk partition from the config
+    (the stored fingerprint guards against a mismatched backend or
+    config), replays the contiguous prefix of committed chunks through
+    the normal accounting path — early-stop and filter-census decisions
+    replay identically — and executes only the remainder, so the
+    returned report is byte-identical (outcomes, counts, intervals,
+    convergence) to an uninterrupted run.  Chunks that were quarantined
+    in the previous run are re-executed, and their records upgraded on
+    success.
+
+    Chunk failures (a backend raise, a malformed worker result, a
+    result overdue past ``config.chunk_timeout``) are retried with
+    bounded exponential backoff in the parent — on a fresh rung of the
+    recovery ladder (process → thread → serial) when the pool itself
+    broke or hung — and quarantined into ``report.quarantined`` after
+    ``config.max_chunk_retries`` failed retries.  Errors raised by the
+    accounting path itself (``on_chunk`` hooks, database writes) are
+    *not* retried: they propagate and abort the campaign.
     """
     points = list(backend.enumerate_points())
     population = len(points)
@@ -300,26 +430,20 @@ def run_campaign(
             raise ValueError(
                 f"{backend.name}.filter_points dropped points: kept "
                 f"{len(points)} + skipped {len(skipped)} != {planned}")
-    # Lane-aware chunk sizing: a lane-packing backend simulates up to
-    # ``lane_width`` points per run, so chunks larger than one lane are
-    # rounded *down* to a lane multiple (no fragmented trailing lane per
-    # chunk).  Chunks at or below the classic 64-lane word are never
-    # inflated — early-stop granularity and per-chunk RNG seeding stay
-    # byte-identical to the configured batch size whenever it already
-    # fits a lane.  Vector-tier words (lane_width > 64) are the one
-    # exception: a wide word only pays off when filled, so the batch is
-    # raised to one full lane unless the caller pinned a smaller
-    # batch_size explicitly (outcome identity never depends on chunking;
-    # only early-stop granularity coarsens with the lane).
+    # Lane-aware chunk sizing (see
+    # :func:`repro.engine.lanes.aligned_batch_size`): chunks larger than
+    # one lane are rounded *down* to a lane multiple (no fragmented
+    # trailing lane per chunk), and a still-default batch size is raised
+    # to fill one vector-tier lane word.  Pure in the config, so a
+    # resumed campaign recomputes the identical chunk partition.
+    from .lanes import aligned_batch_size  # lanes imports core: defer
     lane_width = max(1, int(getattr(backend, "lane_width", 1) or 1))
-    batch_size = max(1, config.batch_size)
-    if lane_width > 1 and batch_size > lane_width:
-        batch_size -= batch_size % lane_width
-    elif lane_width > 64 and batch_size < lane_width \
-            and config.batch_size == type(config).batch_size:
-        batch_size = lane_width
+    batch_size = aligned_batch_size(lane_width, config.batch_size,
+                                    type(config).batch_size)
     chunks = _chunked(points, batch_size)
     seeds = [chunk_seed(config.seed, i) for i in range(len(chunks))]
+    fingerprint = _campaign_fingerprint(backend, config, batch_size,
+                                        lane_width, population, planned)
 
     report = CampaignReport(
         backend=backend.name,
@@ -331,32 +455,70 @@ def run_campaign(
         planned=planned,
         n_workers=max(1, config.workers),
     )
-    if db is not None:
-        report.campaign_id = db.create_campaign(
-            name=f"{backend.name}:{backend.circuit_name}",
-            circuit=backend.circuit_name,
-            fault_model=backend.fault_model,
-            workload=backend.workload,
-            params={
-                "batch_size": config.batch_size,
-                "workers": config.workers,
-                "executor": config.executor,
-                "lane_width": lane_width,
-                "sample": config.sample,
-                "seed": config.seed,
-                "filtered": len(skipped),
-                "early_stop": (config.early_stop.outcome
-                               if config.early_stop else None),
-            },
-        )
-        if skipped:  # filtered outcomes are first-class rows in the DB
-            db.record_many(report.campaign_id,
-                           [inj.row() for inj in skipped])
+    done_records: dict[int, Any] = {}
+    done_rows: dict[int, list[tuple[str, int, str]]] = {}
+    if resume is not None:
+        if db is None:
+            raise ValueError(
+                "resume requires the CampaignDb the campaign was "
+                "checkpointed to")
+        stored = db.campaign_params(resume).get("fingerprint")
+        if stored != fingerprint:
+            raise ValueError(
+                f"campaign {resume} was checkpointed with a different "
+                f"backend/config (fingerprint {stored!r} != "
+                f"{fingerprint!r}); resume needs the identical campaign")
+        report.campaign_id = resume
+        done_records = db.chunk_records(resume)
+        done_rows = db.chunk_rows(resume)
+    elif db is not None:
+        # campaign row + filtered outcomes land in ONE transaction: the
+        # campaign record exists iff its census rows do, so a crash here
+        # leaves nothing a resume could half-see
+        with db.transaction():
+            report.campaign_id = db.create_campaign(
+                name=f"{backend.name}:{backend.circuit_name}",
+                circuit=backend.circuit_name,
+                fault_model=backend.fault_model,
+                workload=backend.workload,
+                params={
+                    "batch_size": config.batch_size,
+                    "chunk_size": batch_size,
+                    "workers": config.workers,
+                    "executor": config.executor,
+                    "lane_width": lane_width,
+                    "sample": config.sample,
+                    "seed": config.seed,
+                    "filtered": len(skipped),
+                    "early_stop": (config.early_stop.outcome
+                                   if config.early_stop else None),
+                    "fingerprint": fingerprint,
+                },
+            )
+            if skipped:  # filtered outcomes are first-class rows in the DB
+                db.record_many(report.campaign_id,
+                               [inj.row() for inj in skipped])
 
     stop = config.early_stop
-    pending_rows: list[tuple[str, int, str]] = []
+    # executed chunks pending checkpoint: (index, rows, status, attempts,
+    # error), committed as one transaction every ``commit_every`` chunks
+    pending_checkpoints: list[
+        tuple[int, list[tuple[str, int, str]], str, int, str | None]] = []
     chunks_since_commit = 0
     start = time.perf_counter()
+
+    def flush_checkpoints() -> None:
+        nonlocal chunks_since_commit
+        chunks_since_commit = 0
+        if db is None or report.campaign_id is None or not pending_checkpoints:
+            pending_checkpoints.clear()
+            return
+        with db.transaction():
+            for index, rows, status, n_attempts, error in pending_checkpoints:
+                db.record_chunk(report.campaign_id, index, rows,
+                                seed=seeds[index], status=status,
+                                attempts=n_attempts, error=error)
+        pending_checkpoints.clear()
 
     # Early-stop bookkeeping.  Filtered points are a *census* of their
     # stratum (known outcomes, zero variance); only the executed sample
@@ -382,7 +544,10 @@ def run_campaign(
         ci = wilson_interval(executed_hits, executed_total, stop.confidence)
         return (ci.width / 2) * kept_weight <= stop.margin
 
-    def account(batch: list[Injection]) -> bool:
+    attempts: dict[int, int] = {}  # chunk index -> failed executions
+
+    def account(batch: list[Injection], index: int,
+                checkpoint: bool = True) -> bool:
         """Fold one chunk into the report; True = converged, stop."""
         nonlocal chunks_since_commit, executed_hits, executed_total
         report.injections.extend(batch)
@@ -390,93 +555,242 @@ def run_campaign(
         if stop is not None:
             executed_hits += sum(1 for inj in batch
                                  if inj.outcome == stop.outcome)
-        if db is not None and report.campaign_id is not None:
-            pending_rows.extend(inj.row() for inj in batch)
+        if checkpoint and db is not None and report.campaign_id is not None:
+            pending_checkpoints.append(
+                (index, [inj.row() for inj in batch], "done",
+                 attempts.get(index, 0) + 1, None))
             chunks_since_commit += 1
             if chunks_since_commit >= max(1, config.commit_every):
-                db.record_many(report.campaign_id, pending_rows)
-                pending_rows.clear()
-                chunks_since_commit = 0
+                flush_checkpoints()
         if on_chunk is not None:
             on_chunk(report)
         return converged_now()
+
+    accounted = 0  # index of the first chunk not yet accounted
+
+    def validate_batch(batch: Any, index: int) -> None:
+        """O(1) shape check on a worker result: a malformed batch (a
+        crashed deserialization, a corrupted return) becomes a chunk
+        failure — retried, then quarantined — not corrupt accounting."""
+        if (not isinstance(batch, list) or len(batch) != len(chunks[index])
+                or (batch and not isinstance(batch[0], Injection))):
+            got = (f"{type(batch).__name__}[{len(batch)}]"
+                   if isinstance(batch, (list, tuple))
+                   else type(batch).__name__)
+            raise _executors.ChunkError(ValueError(
+                f"malformed result for chunk {index}: expected "
+                f"{len(chunks[index])} Injection entries, got {got}"))
+
+    def account_chunk(batch: list[Injection]) -> bool:
+        nonlocal accounted
+        index = accounted
+        validate_batch(batch, index)
+        accounted += 1
+        return account(batch, index)
 
     # a filter that resolves every point (or enough that the residual
     # uncertainty cannot exceed the margin) converges with zero execution
     converged = bool(skipped) and converged_now()
 
-    # resolve the executor (auto probes picklability and per-batch cost;
-    # any chunks it executed while probing are accounted first, exactly
-    # once, so determinism is unaffected)
-    if chunks and not converged:
-        plan = plan_executor(backend, chunks, config, seeds)
+    # Resume replay: walk the contiguous prefix of committed 'done'
+    # chunks through the normal accounting path — same chunk order, same
+    # early-stop arithmetic — without re-executing or re-checkpointing.
+    # The prefix stops at the first missing or quarantined record; later
+    # committed chunks (a crash mid-commit-batch cannot produce any, as
+    # checkpoints commit in chunk order) would re-execute idempotently.
+    if resume is not None and not converged:
+        for i in range(len(chunks)):
+            record = done_records.get(i)
+            if record is None or record.status != "done":
+                break
+            rows = done_rows.get(i, [])
+            if len(rows) != len(chunks[i]):
+                raise ValueError(
+                    f"campaign {resume} checkpointed {len(rows)} rows for "
+                    f"chunk {i} of {len(chunks[i])} points; the database "
+                    "does not match this campaign")
+            batch = [Injection(point=point, location=loc, cycle=cyc,
+                               outcome=out)
+                     for point, (loc, cyc, out) in zip(chunks[i], rows)]
+            accounted += 1
+            report.resumed_chunks += 1
+            attempts[i] = max(0, record.attempts - 1)
+            if account(batch, i, checkpoint=False):
+                converged = True
+                break
+
+    # resolve the executor over the *remaining* chunks (auto probes
+    # picklability and per-batch cost; any chunks it executed while
+    # probing are accounted first, exactly once)
+    if accounted < len(chunks) and not converged:
+        try:
+            plan = plan_executor(backend, chunks[accounted:], config,
+                                 seeds[accounted:])
+        except Exception as exc:
+            # a probe crash is a chunk failure in disguise: start on the
+            # ladder floor and let the retry loop deal with the chunk
+            log.warning(
+                "engine: executor auto-probe failed (%s: %s); starting "
+                "on the serial rung", type(exc).__name__, exc)
+            plan = ExecutorPlan("serial", "auto-probe failed")
     else:
-        plan = ExecutorPlan("serial", "pre-converged by filtered outcomes"
-                            if converged else "empty campaign")
+        plan = ExecutorPlan(
+            "serial",
+            "pre-converged by filtered outcomes" if converged
+            else ("resumed campaign already complete" if resume is not None
+                  else "empty campaign"))
     if plan.reason:
         log.info("engine: executor=%s for %s:%s (%s)", plan.name,
                  backend.name, backend.circuit_name, plan.reason)
     report.executor = plan.name
 
-    accounted = 0
-
-    def account_chunk(batch: list[Injection]) -> bool:
-        nonlocal accounted
-        accounted += 1
-        return account(batch)
-
-    for batch in plan.probe_batches or ():
-        if account_chunk(batch):
-            converged = True
-            break
-
     strategy = plan.name
-    if not converged and accounted < len(chunks):
-        if strategy == "process":
-            # serialize here (if the auto probe didn't already) so that
-            # pickling failures are distinguishable from pool failures —
-            # and from genuine backend bugs, which must propagate
-            payload = plan.payload
-            if payload is None:
-                try:
-                    payload = pickle.dumps(
-                        (backend, chunks, seeds),
-                        protocol=pickle.HIGHEST_PROTOCOL)
-                except Exception as exc:
-                    log.warning(
-                        "engine: backend not picklable (%s: %s); falling "
-                        "back to threads", type(exc).__name__, exc)
-                    strategy = "thread"
-                    report.executor = "thread"
-        if strategy == "process":
+    payload = plan.payload
+    LADDER_FLOOR = "serial"
+
+    def degrade(next_strategy: str, reason: str) -> None:
+        """Step down the recovery ladder (process → thread → serial).
+
+        The ladder is monotonic, so each degradation logs exactly once.
+        """
+        nonlocal strategy
+        if strategy == next_strategy:
+            return
+        log.warning(
+            "engine: %s executor failing; falling back to %s from chunk "
+            "%d (%s)", strategy, next_strategy, accounted, reason)
+        strategy = next_strategy
+        report.executor = next_strategy
+
+    def retry_or_quarantine(cause: BaseException) -> None:
+        """Chunk ``accounted`` failed: bounded-backoff retries in the
+        parent (immune to pool state), then quarantine."""
+        nonlocal converged, accounted
+        index = accounted
+        attempts[index] = attempts.get(index, 0) + 1
+        budget = config.max_chunk_retries
+        error: BaseException = cause
+        while attempts[index] <= budget:
+            delay = min(RETRY_BACKOFF_CAP_S,
+                        config.retry_backoff_s * 2 ** (attempts[index] - 1))
+            log.warning(
+                "engine: chunk %d failed (%s: %s); retry %d/%d in the "
+                "parent after %.2fs", index, type(error).__name__, error,
+                attempts[index], budget, delay)
+            if delay > 0:
+                time.sleep(delay)
             try:
+                backend.prepare()
+                batch = _executors.execute_chunk(
+                    backend, chunks[index], seeds[index])
+                validate_batch(batch, index)
+            except Exception as exc:
+                error = (exc.cause
+                         if isinstance(exc, _executors.ChunkError) else exc)
+                attempts[index] += 1
+                continue
+            report.retried_chunks += 1
+            converged = account_chunk(batch)
+            return
+        log.error(
+            "engine: quarantining chunk %d (%d points) after %d failed "
+            "execution(s) (%s: %s)", index, len(chunks[index]),
+            attempts[index], type(error).__name__, error)
+        report.quarantined.append(QuarantinedChunk(
+            index=index, n_points=len(chunks[index]),
+            attempts=attempts[index],
+            error=f"{type(error).__name__}: {error}"))
+        accounted += 1
+        if db is not None and report.campaign_id is not None:
+            pending_checkpoints.append(
+                (index, [], "failed", attempts[index],
+                 f"{type(error).__name__}: {error}"))
+            # the campaign just proved unstable: checkpoint immediately
+            flush_checkpoints()
+
+    try:
+        for batch in plan.probe_batches or ():
+            if account_chunk(batch):
+                converged = True
+                break
+    except _executors.ChunkError as exc:
+        retry_or_quarantine(exc.cause)
+
+    # The ladder driver: run the chosen strategy over the remaining
+    # chunks; classify anything it raises as a chunk failure (retry in
+    # the parent, quarantine when the budget is spent) and/or an
+    # executor failure (degrade one rung), then re-enter from the first
+    # undelivered chunk — accounting is chunk-ordered, so ``accounted``
+    # is exactly that index.  Accounting-path errors propagate raw.
+    while not converged and accounted < len(chunks):
+        try:
+            if strategy == "process":
+                if payload is None:
+                    # serialize here (if the auto probe didn't already)
+                    # so pickling failures are distinguishable from pool
+                    # failures — and from backend bugs, which propagate
+                    try:
+                        payload = pickle.dumps(
+                            (backend, chunks, seeds),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+                    except Exception as exc:
+                        degrade("thread",
+                                f"backend not picklable "
+                                f"({type(exc).__name__}: {exc})")
+                        continue
                 converged = _executors.run_process(
                     backend, chunks, seeds, account_chunk, config.workers,
                     start=accounted, payload=payload,
-                    reuse_pool=config.reuse_pool)
-            except (BrokenProcessPool, OSError) as exc:
-                # accounting is chunk-ordered, so `accounted` is exactly
-                # the index of the first chunk the pool never delivered —
-                # resume there on threads without repeating work
-                log.warning(
-                    "engine: process executor failed (%s: %s); falling back "
-                    "to threads from chunk %d", type(exc).__name__, exc,
-                    accounted)
-                strategy = "thread"
-                report.executor = "thread"
-        if not converged and accounted < len(chunks):
-            if strategy == "thread":
+                    reuse_pool=config.reuse_pool,
+                    timeout=config.chunk_timeout)
+            elif strategy == "thread":
                 backend.prepare()
                 converged = _executors.run_thread(
                     backend, chunks, seeds, account_chunk, config.workers,
-                    start=accounted)
-            elif strategy == "serial":
+                    start=accounted, timeout=config.chunk_timeout)
+            else:
                 backend.prepare()
                 converged = _executors.run_serial(
                     backend, chunks, seeds, account_chunk, start=accounted)
+        except _executors.ChunkTimeout as exc:
+            # the hung task may never return; its pool is already
+            # abandoned (persistent pools: evicted), so step down a rung
+            # and retry the chunk in the parent
+            degrade("thread" if strategy == "process" else LADDER_FLOOR,
+                    f"chunk {accounted} timed out after "
+                    f"{config.chunk_timeout}s")
+            retry_or_quarantine(exc)
+        except (BrokenProcessPool, OSError) as exc:
+            if strategy == "process":
+                degrade("thread", f"process pool failed "
+                        f"({type(exc).__name__}: {exc})")
+            retry_or_quarantine(exc)
+        except _executors.ChunkError as exc:
+            retry_or_quarantine(exc.cause)
     report.converged = converged
 
-    if db is not None and report.campaign_id is not None and pending_rows:
-        db.record_many(report.campaign_id, pending_rows)
+    flush_checkpoints()
     report.elapsed_s = time.perf_counter() - start
     return report
+
+
+def resume_campaign(
+    backend: InjectionBackend,
+    campaign_id: int,
+    config: EngineConfig = EngineConfig(),
+    db: CampaignDb | None = None,
+    on_chunk: Callable[[CampaignReport], None] | None = None,
+) -> CampaignReport:
+    """Resume a checkpointed campaign from its last committed chunk.
+
+    ``backend`` and ``config`` must reconstruct the interrupted campaign
+    exactly (same circuit, seed, sampling, chunking — the stored
+    fingerprint is checked); ``db`` must be the database it checkpointed
+    to.  Completed chunks are replayed from their records, the remainder
+    (including any quarantined chunks) is executed, and the returned
+    :class:`CampaignReport` is byte-identical to an uninterrupted run —
+    early-stop decisions included.  Execution policy is free to differ:
+    a campaign checkpointed from a process pool may resume serially.
+    """
+    return run_campaign(backend, config, db=db, on_chunk=on_chunk,
+                        resume=campaign_id)

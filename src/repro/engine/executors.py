@@ -54,6 +54,32 @@ log = logging.getLogger("repro.engine")
 
 EXECUTOR_CHOICES = ("auto", "serial", "thread", "process")
 
+
+class ChunkError(Exception):
+    """One chunk's *execution* failed (the backend raised, or the worker
+    returned garbage).  ``cause`` is the original error.
+
+    The wrapper exists so the engine can tell chunk failures — which are
+    retried and eventually quarantined — apart from errors raised by its
+    own accounting path (``on_chunk`` hooks, database writes), which
+    must propagate raw: a crash simulated through ``on_chunk`` has to
+    abort the campaign, not burn the chunk's retry budget.
+    """
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(f"{type(cause).__name__}: {cause}")
+        self.cause = cause
+
+
+class ChunkTimeout(Exception):
+    """A dispatched chunk exceeded ``EngineConfig.chunk_timeout``.
+
+    The hung task cannot be killed (``concurrent.futures`` offers no
+    per-task cancellation of running work), so the pool it sits on is
+    abandoned without waiting and the engine degrades one rung of the
+    recovery ladder before retrying the chunk.
+    """
+
 # auto-probe thresholds (module level so tests and benchmarks can tune):
 # a chunk cheaper than MIN_BATCH_COST_S is dominated by pool dispatch,
 # and a campaign with less than MIN_CAMPAIGN_COST_S of work left cannot
@@ -341,62 +367,104 @@ def run_serial(backend: Any, chunks: Sequence[Sequence[Any]],
                seeds: Sequence[int],
                account: Callable[[list], bool], start: int = 0) -> bool:
     for i in range(start, len(chunks)):
-        if account(execute_chunk(backend, chunks[i], seeds[i])):
+        try:
+            batch = execute_chunk(backend, chunks[i], seeds[i])
+        except Exception as exc:
+            raise ChunkError(exc) from exc
+        if account(batch):
             return True
     return False
 
 
+def _drain(futures: deque) -> None:
+    """Cancel queued futures and wait out in-flight ones, aggregating
+    their errors into one log line instead of silently swallowing them
+    (a speculative chunk past an early stop may legitimately fail — but
+    a *pattern* of suppressed failures is a harness bug worth seeing)."""
+    for future in futures:
+        future.cancel()
+    suppressed: list[str] = []
+    for future in futures:  # wait out whatever could not cancel
+        if not future.cancelled():
+            try:
+                future.result()
+            except Exception as exc:  # noqa: BLE001 - collected, not masked
+                suppressed.append(f"{type(exc).__name__}: {exc}")
+    if suppressed:
+        log.warning(
+            "engine: drained %d suppressed chunk error(s) after stop: %s",
+            len(suppressed), "; ".join(suppressed[:3])
+            + ("; ..." if len(suppressed) > 3 else ""))
+
+
 def _run_pool(pool: Any, submit: Callable[[int], Any], n_chunks: int,
               window: int, account: Callable[[list], bool],
-              start: int, shutdown: bool = True) -> bool:
+              start: int, shutdown: bool = True,
+              timeout: float | None = None) -> bool:
     """Sliding-window dispatch with deterministic chunk-order accounting.
 
     Futures are consumed strictly in submission (= chunk) order.  On
     early stop — and on any error — queued chunks are cancelled and
-    in-flight ones are waited out before returning, so no speculative
-    batch is accounted or left running in the background.  With
-    ``shutdown=False`` (persistent pools) the drain is identical but the
-    pool itself stays alive for the next campaign.
+    in-flight ones are waited out (their errors aggregated into one log
+    line) before returning, so no speculative batch is accounted or left
+    running in the background.  With ``shutdown=False`` (persistent
+    pools) the drain is identical but the pool itself stays alive for
+    the next campaign.
+
+    With a ``timeout``, a chunk whose result is overdue raises
+    :class:`ChunkTimeout`; the hung task cannot be waited out, so the
+    pool is shut down without waiting (persistent pools: the caller
+    evicts it) and never drained.
     """
     futures: deque = deque()
     next_chunk = start
     converged = False
+    hung = False
     try:
         while next_chunk < n_chunks and len(futures) < window:
             futures.append(submit(next_chunk))
             next_chunk += 1
         while futures:
-            if account(futures.popleft().result()):
+            future = futures.popleft()
+            try:
+                batch = future.result(timeout)
+            except TimeoutError as exc:
+                hung = True
+                raise ChunkTimeout(
+                    f"chunk result overdue after {timeout}s") from exc
+            except (BrokenProcessPool, OSError):
+                raise  # pool-level failure: the engine degrades the ladder
+            except Exception as exc:
+                raise ChunkError(exc) from exc
+            if account(batch):
                 converged = True
                 break
             if next_chunk < n_chunks:
                 futures.append(submit(next_chunk))
                 next_chunk += 1
     finally:
-        if shutdown:
+        if hung:
+            # never wait on a hung task — abandon the pool wholesale
+            pool.shutdown(wait=False, cancel_futures=True)
+        elif shutdown:
+            _drain(futures)
             pool.shutdown(wait=True, cancel_futures=True)
         else:
-            for future in futures:
-                future.cancel()
-            for future in futures:  # wait out whatever could not cancel
-                if not future.cancelled():
-                    try:
-                        future.result()
-                    except Exception:  # noqa: BLE001 - drain must not mask
-                        pass  # the original error already propagates
+            _drain(futures)
     return converged
 
 
 def run_thread(backend: Any, chunks: Sequence[Sequence[Any]],
                seeds: Sequence[int], account: Callable[[list], bool],
-               workers: int, start: int = 0) -> bool:
+               workers: int, start: int = 0,
+               timeout: float | None = None) -> bool:
     pool = ThreadPoolExecutor(max_workers=workers)
 
     def submit(i: int):
         return pool.submit(execute_chunk, backend, chunks[i], seeds[i])
 
     return _run_pool(pool, submit, len(chunks), _window(workers), account,
-                     start)
+                     start, timeout=timeout)
 
 
 # ----------------------------------------------------------------------
@@ -486,7 +554,8 @@ def run_process(backend: Any, chunks: Sequence[Sequence[Any]],
                 seeds: Sequence[int], account: Callable[[list], bool],
                 workers: int, start: int = 0,
                 payload: bytes | None = None,
-                reuse_pool: bool = True) -> bool:
+                reuse_pool: bool = True,
+                timeout: float | None = None) -> bool:
     if payload is None:
         payload = pickle.dumps((backend, chunks, list(seeds)),
                                protocol=pickle.HIGHEST_PROTOCOL)
@@ -519,10 +588,15 @@ def run_process(backend: Any, chunks: Sequence[Sequence[Any]],
             try:
                 return _run_pool(pool, submit, len(chunks),
                                  _window(n_workers), account_indexed, start,
-                                 shutdown=False)
+                                 shutdown=False, timeout=timeout)
+            except ChunkTimeout:
+                # a worker is stuck on the hung task; the pool cannot be
+                # trusted (or waited on) — evict without waiting
+                _pool_registry.pop(max(1, workers), None)
+                raise
             except (BrokenProcessPool, OSError):
                 # a broken pool never heals: evict it so the next
-                # campaign spawns fresh (the engine's thread fallback
+                # campaign spawns fresh (the engine's recovery ladder
                 # handles *this* campaign)
                 _discard_pool(workers)
                 raise
@@ -555,4 +629,4 @@ def run_process(backend: Any, chunks: Sequence[Sequence[Any]],
         return pool.submit(_process_worker_run, i)
 
     return _run_pool(pool, submit, len(chunks), _window(n_workers),
-                     account_indexed, start)
+                     account_indexed, start, timeout=timeout)

@@ -72,6 +72,27 @@ def resolve_lane_width(width: int) -> int:
         return DEFAULT_LANE_WIDTH
     return width
 
+
+def aligned_batch_size(lane_width: int, batch_size: int,
+                       default_batch_size: int = DEFAULT_LANE_WIDTH) -> int:
+    """The engine's effective chunk size for a lane-packing backend.
+
+    Chunks are aligned *down* to a lane multiple so no chunk ships a
+    ragged final lane group, and a still-default batch size is inflated
+    to fill one vector-tier lane word (a 64-point chunk on a 256-lane
+    backend would waste three quarters of every packed run).  The result
+    is a pure function of ``(lane_width, configured batch size)`` — the
+    chunk partition, and with it every checkpoint's chunk index, is
+    recomputed identically when a campaign resumes.
+    """
+    size = max(1, batch_size)
+    if lane_width > 1 and size > lane_width:
+        size -= size % lane_width
+    elif lane_width > 64 and size < lane_width \
+            and batch_size == default_batch_size:
+        size = lane_width
+    return size
+
 MASKED = "masked"
 LATENT = "latent"
 FAILURE = "failure"

@@ -91,6 +91,7 @@ def run_safety_campaign(
     db=None,
     workers: int = 1,
     executor: str = "auto",
+    resume: int | None = None,
 ) -> SafetyCampaignResult:
     """Inject every fault under packed patterns and classify per ISO.
 
@@ -98,7 +99,9 @@ def run_safety_campaign(
     :class:`repro.core.campaign.CampaignDb`) to persist every injection,
     ``workers`` > 1 to execute batches concurrently, and ``executor``
     to pick the strategy (serial/thread/process/auto) — results are
-    identical at any worker count and executor choice.
+    identical at any worker count and executor choice.  ``resume``
+    restarts a checkpointed campaign (requires the same ``db``) from its
+    last committed chunk, byte-identical to an uninterrupted run.
     """
     from ..engine.backends import SafetyBackend
     from ..engine.core import EngineConfig, run_campaign
@@ -107,7 +110,7 @@ def run_safety_campaign(
                             detection_outputs, patterns, n_patterns, state)
     report = run_campaign(backend,
                           EngineConfig(workers=workers, executor=executor),
-                          db=db)
+                          db=db, resume=resume)
     result = SafetyCampaignResult()
     for inj in report.injections:
         result.classified.append(

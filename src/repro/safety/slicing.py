@@ -142,6 +142,7 @@ def _run_slicing_campaign(
     executor: str,
     lane_width: int | None,
     lane_backing: str | None = None,
+    resume: int | None = None,
 ) -> CampaignOutcome:
     from ..engine.core import EngineConfig, run_campaign
     from ..engine.workloads import SlicingBackend
@@ -153,7 +154,7 @@ def _run_slicing_campaign(
                              use_filter=use_filter, **kwargs)
     report = run_campaign(
         backend, EngineConfig(batch_size=32, workers=workers,
-                              executor=executor), db=db)
+                              executor=executor), db=db, resume=resume)
     return CampaignOutcome.from_report(report)
 
 
@@ -167,6 +168,7 @@ def run_naive_campaign(
     executor: str = "auto",
     lane_width: int | None = None,
     lane_backing: str | None = None,
+    resume: int | None = None,
 ) -> CampaignOutcome:
     """Simulate every (fault, cycle) pair — the reference cost.
 
@@ -174,12 +176,13 @@ def run_naive_campaign(
     (``db``/``workers``/``executor``/``lane_width``/``lane_backing``
     passthrough; lane packing shares the multi-cycle propagation of up
     to ``lane_width`` injections per run — any width via the vector
-    tier — with byte-identical classifications).
+    tier — with byte-identical classifications).  ``resume`` restarts a
+    checkpointed campaign from its last committed chunk.
     """
     return _run_slicing_campaign(circuit, faults, stimuli, cycles,
                                  use_filter=False, db=db, workers=workers,
                                  executor=executor, lane_width=lane_width,
-                                 lane_backing=lane_backing)
+                                 lane_backing=lane_backing, resume=resume)
 
 
 def run_sliced_campaign(
@@ -192,6 +195,7 @@ def run_sliced_campaign(
     executor: str = "auto",
     lane_width: int | None = None,
     lane_backing: str | None = None,
+    resume: int | None = None,
 ) -> CampaignOutcome:
     """The accelerated campaign: skip provably-masked injections.
 
@@ -214,7 +218,7 @@ def run_sliced_campaign(
     return _run_slicing_campaign(circuit, faults, stimuli, cycles,
                                  use_filter=True, db=db, workers=workers,
                                  executor=executor, lane_width=lane_width,
-                                 lane_backing=lane_backing)
+                                 lane_backing=lane_backing, resume=resume)
 
 
 def verify_equivalence(naive: CampaignOutcome, sliced: CampaignOutcome) -> bool:

@@ -113,6 +113,7 @@ def run_campaign(
     executor: str = "auto",
     lane_width: int | None = None,
     lane_backing: str | None = None,
+    resume: int | None = None,
 ) -> SeuCampaignResult:
     """SEU campaign over flops × cycles (exhaustive or sampled).
 
@@ -127,7 +128,9 @@ def run_campaign(
     default 64, ``1`` forces the per-point reference path, widths above
     64 ride the vector tier — packed big ints or, via
     ``lane_backing="ndarray"``, numpy block arrays) — outcomes are
-    byte-identical at every width and backing.
+    byte-identical at every width and backing.  ``resume`` restarts a
+    checkpointed campaign (requires the ``db`` it was recorded in) from
+    its last committed chunk, byte-identical to an uninterrupted run.
     """
     from ..engine.backends import SeuBackend
     from ..engine.core import EngineConfig, run_campaign as run_engine
@@ -138,7 +141,7 @@ def run_campaign(
     backend = SeuBackend(circuit, stimuli, targets, cycles, **kwargs)
     config = EngineConfig(workers=workers, sample=sample, seed=seed,
                           executor=executor)
-    report = run_engine(backend, config, db=db)
+    report = run_engine(backend, config, db=db, resume=resume)
     result = SeuCampaignResult(n_cycles=len(stimuli))
     result.injections = [SeuInjection(inj.location, inj.cycle, inj.outcome)
                          for inj in report.injections]

@@ -1,0 +1,527 @@
+"""Fault-tolerant campaign tests.
+
+Covers: crash-consistent chunk checkpointing in CampaignDb (WAL, busy
+timeout, idempotent chunk records, schema migration), kill-and-resume
+identity (in-process aborts across executors × lane widths × early
+stop, plus a real SIGKILL'd subprocess), chunk retry with backoff and
+quarantine driven by ChaosBackend, the process → thread → serial
+recovery ladder, chunk timeouts, and the executor drain path's
+suppressed-error aggregation.
+"""
+
+import logging
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import load
+from repro.core import CampaignDb
+from repro.engine import (
+    ChaosBackend,
+    ChaosError,
+    ChaosFault,
+    EarlyStop,
+    EngineConfig,
+    Injection,
+    SeuBackend,
+    resume_campaign,
+    run_campaign,
+)
+from repro.engine import executors
+from repro.soft_error import random_workload
+
+N_CYCLES = 8  # 12 flops x 8 cycles = 96 points
+
+
+def _backend(lane_width: int = 1) -> SeuBackend:
+    circuit = load("rand_seq")
+    return SeuBackend(circuit, random_workload(circuit, N_CYCLES, seed=7),
+                      lane_width=lane_width)
+
+
+def _rows(report):
+    return [inj.row() for inj in report.injections]
+
+
+def _signature(report):
+    """Everything resume identity promises: outcomes, counts, interval,
+    early-stop decision."""
+    return (_rows(report), report.outcomes, report.total, report.converged,
+            report.confidence_interval("failure"))
+
+
+class AbortCampaign(Exception):
+    """Simulated crash raised from the accounting path."""
+
+
+def _abort_after(n_chunks: int):
+    """An on_chunk hook that records the campaign id, then kills the
+    campaign after ``n_chunks`` accounted chunks."""
+    seen = {"n": 0, "campaign_id": None}
+
+    def hook(report):
+        seen["campaign_id"] = report.campaign_id
+        seen["n"] += 1
+        if seen["n"] >= n_chunks:
+            raise AbortCampaign(f"aborted after {n_chunks} chunks")
+
+    return hook, seen
+
+
+# ----------------------------------------------------------------------
+# CampaignDb: crash-consistent chunk checkpointing
+# ----------------------------------------------------------------------
+class TestCampaignDbCheckpointing:
+    def test_wal_and_busy_timeout_on_file_databases(self, tmp_path):
+        db = CampaignDb(tmp_path / "c.sqlite")
+        assert db.conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert db.conn.execute("PRAGMA busy_timeout").fetchone()[0] == 5000
+        db.close()
+
+    def test_record_chunk_is_idempotent(self):
+        db = CampaignDb()
+        cid = db.create_campaign("c", "circ", "seu", "w")
+        rows = [("f1", 0, "masked"), ("f2", 1, "failure")]
+        assert db.record_chunk(cid, 0, rows, seed=7) is True
+        # replaying the same chunk (crash between commit and checkpoint,
+        # then resume) must not double-count
+        assert db.record_chunk(cid, 0, rows, seed=7) is False
+        assert db.summary(cid).total == 2
+        assert db.chunk_records(cid)[0].n_points == 2
+        assert db.chunk_rows(cid) == {0: rows}
+
+    def test_record_chunk_upgrades_quarantined_to_done(self):
+        db = CampaignDb()
+        cid = db.create_campaign("c", "circ", "seu", "w")
+        assert db.record_chunk(cid, 3, [], status="failed", attempts=4,
+                               error="ChaosError: boom") is True
+        assert db.chunk_records(cid)[3].status == "failed"
+        rows = [("f1", 0, "masked")]
+        assert db.record_chunk(cid, 3, rows, attempts=1) is True
+        record = db.chunk_records(cid)[3]
+        assert record.status == "done" and record.error is None
+        assert db.chunk_rows(cid) == {3: rows}
+        # but done never downgrades back to failed
+        assert db.record_chunk(cid, 3, [], status="failed") is False
+        assert db.chunk_records(cid)[3].status == "done"
+
+    def test_chunk_seed_roundtrips_past_signed_64bit(self):
+        db = CampaignDb()
+        cid = db.create_campaign("c", "circ", "seu", "w")
+        seed = (1 << 64) - 3  # unsigned 64-bit, overflows SQLite INTEGER
+        db.record_chunk(cid, 0, [("f", 0, "masked")], seed=seed)
+        assert db.chunk_records(cid)[0].seed == seed
+
+    def test_schema_migration_from_pre_checkpoint_database(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript("""
+            CREATE TABLE campaigns (
+                id INTEGER PRIMARY KEY, name TEXT NOT NULL,
+                circuit TEXT NOT NULL, fault_model TEXT NOT NULL,
+                workload TEXT NOT NULL, params TEXT NOT NULL DEFAULT '{}');
+            CREATE TABLE injections (
+                id INTEGER PRIMARY KEY,
+                campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+                location TEXT NOT NULL, cycle INTEGER NOT NULL DEFAULT 0,
+                outcome TEXT NOT NULL);
+            INSERT INTO campaigns (name, circuit, fault_model, workload)
+                VALUES ('legacy', 'c17', 'stuck-at', 'w');
+            INSERT INTO injections (campaign_id, location, cycle, outcome)
+                VALUES (1, 'f1', 0, 'failure');
+        """)
+        conn.commit()
+        conn.close()
+        db = CampaignDb(path)
+        # old rows still readable, new chunk machinery available
+        assert db.summary(1).total == 1
+        assert db.chunk_records(1) == {}
+        db.record_chunk(1, 0, [("f2", 1, "masked")])
+        assert db.summary(1).total == 2
+        db.close()
+
+    def test_campaign_params_stores_fingerprint(self):
+        db = CampaignDb()
+        report = run_campaign(
+            _backend(), EngineConfig(batch_size=16, executor="serial"), db=db)
+        params = db.campaign_params(report.campaign_id)
+        assert params["fingerprint"]
+        assert params["chunk_size"] == 16
+        with pytest.raises(KeyError):
+            db.campaign_params(9999)
+
+    def test_checkpoints_cover_every_chunk(self):
+        db = CampaignDb()
+        report = run_campaign(
+            _backend(),
+            EngineConfig(batch_size=16, executor="serial", commit_every=3),
+            db=db)
+        records = db.chunk_records(report.campaign_id)
+        chunk_rows = db.chunk_rows(report.campaign_id)
+        assert sorted(records) == list(range(96 // 16))
+        assert all(r.status == "done" for r in records.values())
+        flattened = [row for i in sorted(chunk_rows) for row in chunk_rows[i]]
+        assert flattened == _rows(report)
+
+
+# ----------------------------------------------------------------------
+# resume: byte-identical reports
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_resume_requires_db(self):
+        with pytest.raises(ValueError, match="resume requires"):
+            run_campaign(_backend(), EngineConfig(executor="serial"),
+                         resume=1)
+
+    def test_resume_rejects_mismatched_config(self):
+        db = CampaignDb()
+        config = EngineConfig(batch_size=16, executor="serial")
+        report = run_campaign(_backend(), config, db=db)
+        other = EngineConfig(batch_size=16, executor="serial", seed=99)
+        with pytest.raises(ValueError, match="fingerprint"):
+            run_campaign(_backend(), other, db=db,
+                         resume=report.campaign_id)
+        # different workers / executor / retry policy is legitimate
+        relaxed = EngineConfig(batch_size=16, executor="thread", workers=2,
+                               max_chunk_retries=5)
+        resumed = resume_campaign(_backend(), report.campaign_id, relaxed,
+                                  db=db)
+        assert _signature(resumed) == _signature(report)
+
+    def test_aborted_campaign_resumes_byte_identical(self):
+        config = EngineConfig(batch_size=8, executor="serial",
+                              commit_every=1, shuffle=True,
+                              early_stop=EarlyStop(margin=0.12,
+                                                   min_injections=24))
+        reference = run_campaign(_backend(), config, db=CampaignDb())
+        db = CampaignDb()
+        hook, seen = _abort_after(3)
+        with pytest.raises(AbortCampaign):
+            run_campaign(_backend(), config, db=db, on_chunk=hook)
+        resumed = resume_campaign(_backend(), seen["campaign_id"], config,
+                                  db=db)
+        assert _signature(resumed) == _signature(reference)
+        assert resumed.resumed_chunks == 3
+        assert resumed.describe().endswith("3 chunks resumed")
+        # the database converges to exactly the uninterrupted row set
+        assert db.summary(seen["campaign_id"]).total == reference.total
+
+    def test_commit_batching_loses_only_uncommitted_chunks(self):
+        # commit_every=4: aborting after 6 chunks leaves 4 committed
+        config = EngineConfig(batch_size=8, executor="serial",
+                              commit_every=4)
+        reference = run_campaign(_backend(), config)
+        db = CampaignDb()
+        hook, seen = _abort_after(6)
+        with pytest.raises(AbortCampaign):
+            run_campaign(_backend(), config, db=db, on_chunk=hook)
+        assert sorted(db.chunk_records(seen["campaign_id"])) == [0, 1, 2, 3]
+        resumed = resume_campaign(_backend(), seen["campaign_id"], config,
+                                  db=db)
+        assert resumed.resumed_chunks == 4
+        assert _signature(resumed) == _signature(reference)
+
+    def test_resume_of_complete_campaign_replays_everything(self):
+        config = EngineConfig(batch_size=16, executor="serial",
+                              commit_every=1)
+        db = CampaignDb()
+        report = run_campaign(_backend(), config, db=db)
+        resumed = resume_campaign(_backend(), report.campaign_id, config,
+                                  db=db)
+        assert _signature(resumed) == _signature(report)
+        assert resumed.resumed_chunks == 96 // 16
+        assert resumed.executor == "serial"
+        # no rows were double-recorded by the replay
+        assert db.summary(report.campaign_id).total == report.total
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        kill_after=st.integers(min_value=1, max_value=6),
+        executor=st.sampled_from(["serial", "thread", "process"]),
+        lane_width=st.sampled_from([1, 64, 256]),
+        early_stop=st.booleans(),
+    )
+    def test_kill_and_resume_identity(self, kill_after, executor, lane_width,
+                                      early_stop):
+        """SIGKILL-equivalent abort after chunk k + resume == one run,
+        across executors x lane widths x early stop."""
+        stop = (EarlyStop(margin=0.12, min_injections=24)
+                if early_stop else None)
+        config = EngineConfig(batch_size=8, executor=executor, workers=2,
+                              commit_every=1, shuffle=True, early_stop=stop)
+        reference = run_campaign(_backend(lane_width), config)
+        db = CampaignDb()
+        hook, seen = _abort_after(kill_after)
+        try:
+            run_campaign(_backend(lane_width), config, db=db, on_chunk=hook)
+        except AbortCampaign:
+            pass  # converged-early campaigns may finish under the hook
+        resumed = resume_campaign(_backend(lane_width), seen["campaign_id"],
+                                  config, db=db)
+        assert _signature(resumed) == _signature(reference)
+        assert db.summary(seen["campaign_id"]).total == reference.total
+
+    def test_sigkilled_subprocess_resumes_byte_identical(self, tmp_path):
+        """A real SIGKILL mid-campaign: WAL-committed chunks survive the
+        dead process and the resumed report matches an uninterrupted run."""
+        db_path = tmp_path / "killed.sqlite"
+        script = textwrap.dedent(f"""
+            import os, signal
+            from repro.circuit import load
+            from repro.core import CampaignDb
+            from repro.engine import EngineConfig, SeuBackend, run_campaign
+            from repro.soft_error import random_workload
+
+            circuit = load("rand_seq")
+            backend = SeuBackend(circuit,
+                                 random_workload(circuit, {N_CYCLES}, seed=7),
+                                 lane_width=1)
+            config = EngineConfig(batch_size=8, executor="serial",
+                                  commit_every=1)
+            seen = {{"n": 0}}
+            def hook(report):
+                seen["n"] += 1
+                if seen["n"] >= 4:
+                    os.kill(os.getpid(), signal.SIGKILL)
+            run_campaign(backend, config, db=CampaignDb({str(db_path)!r}),
+                         on_chunk=hook)
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (os.path.join(os.path.dirname(__file__), os.pardir,
+                                          "src")
+                             + os.pathsep + env.get("PYTHONPATH", ""))
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        config = EngineConfig(batch_size=8, executor="serial",
+                              commit_every=1)
+        reference = run_campaign(_backend(), config)
+        db = CampaignDb(db_path)
+        campaign_id = db.campaigns_for("rand_s_12f_s3")[-1]
+        assert 1 <= len(db.chunk_records(campaign_id)) < 96 // 8
+        resumed = resume_campaign(_backend(), campaign_id, config, db=db)
+        assert resumed.resumed_chunks >= 1
+        assert _signature(resumed) == _signature(reference)
+        assert db.summary(campaign_id).total == reference.total
+        db.close()
+
+
+# ----------------------------------------------------------------------
+# chunk retry, quarantine, and the recovery ladder (via ChaosBackend)
+# ----------------------------------------------------------------------
+def _chaos(mode, failures, lane_width=1, point_index=20, **kwargs):
+    backend = _backend(lane_width)
+    trigger = backend.enumerate_points()[point_index]
+    return ChaosBackend(backend, [ChaosFault(trigger, mode, failures)],
+                        **kwargs)
+
+
+RETRY_CONFIG = EngineConfig(batch_size=8, executor="serial",
+                            max_chunk_retries=2, retry_backoff_s=0.001)
+
+
+class TestRetryAndQuarantine:
+    def test_chaos_fault_validates_mode(self):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            ChaosFault(("x", 0), "explode")
+
+    def test_chaos_backend_is_transparent_when_quiet(self):
+        report = run_campaign(_chaos("raise", failures=0), RETRY_CONFIG)
+        reference = run_campaign(_backend(), RETRY_CONFIG)
+        assert _signature(report) == _signature(reference)
+        assert report.retried_chunks == 0 and not report.quarantined
+
+    @pytest.mark.parametrize("mode", ["raise", "malform"])
+    def test_transient_chunk_failure_is_retried(self, mode, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.engine"):
+            report = run_campaign(_chaos(mode, failures=2), RETRY_CONFIG)
+        reference = run_campaign(_backend(), RETRY_CONFIG)
+        assert _signature(report) == _signature(reference)
+        assert report.retried_chunks == 1
+        assert not report.quarantined
+        assert any("retry" in r.message for r in caplog.records)
+
+    def test_backoff_is_exponential_and_capped(self):
+        from repro.engine.core import RETRY_BACKOFF_CAP_S
+
+        config = EngineConfig(batch_size=8, executor="serial",
+                              max_chunk_retries=3, retry_backoff_s=0.01)
+        t0 = time.perf_counter()
+        report = run_campaign(_chaos("raise", failures=3), config)
+        elapsed = time.perf_counter() - t0
+        assert report.retried_chunks == 1
+        # three backoffs: 0.01 + 0.02 + 0.04
+        assert elapsed >= 0.07
+        assert RETRY_BACKOFF_CAP_S >= 0.04
+
+    def test_persistent_failure_is_quarantined_not_fatal(self, caplog):
+        config = EngineConfig(batch_size=8, executor="serial",
+                              max_chunk_retries=1, retry_backoff_s=0.001)
+        with caplog.at_level(logging.ERROR, logger="repro.engine"):
+            report = run_campaign(_chaos("raise", failures=None), config)
+        reference = run_campaign(_backend(), config)
+        # the campaign completed: every chunk but the poisoned one
+        assert len(report.quarantined) == 1
+        quarantined = report.quarantined[0]
+        assert quarantined.index == 2 and quarantined.n_points == 8
+        assert quarantined.attempts == 2  # original + 1 retry
+        assert "ChaosError" in quarantined.error
+        assert report.executed == reference.executed - 8
+        assert report.quarantined_points == 8
+        assert "1 chunks quarantined (8 points failed)" in report.describe()
+        assert any("quarantin" in r.message for r in caplog.records)
+
+    def test_quarantine_checkpoints_failed_stratum(self):
+        config = EngineConfig(batch_size=8, executor="serial",
+                              max_chunk_retries=0, commit_every=1,
+                              retry_backoff_s=0.001)
+        db = CampaignDb()
+        report = run_campaign(_chaos("raise", failures=None), config, db=db)
+        records = db.chunk_records(report.campaign_id)
+        assert records[2].status == "failed"
+        assert "ChaosError" in records[2].error
+        # resume with the harness fault fixed: the quarantined chunk is
+        # re-executed and its record upgraded — full identity restored
+        reference = run_campaign(_backend(), config)
+        resumed = resume_campaign(_backend(), report.campaign_id, config,
+                                  db=db)
+        assert _signature(resumed) == _signature(reference)
+        assert not resumed.quarantined
+        records = db.chunk_records(report.campaign_id)
+        assert all(r.status == "done" for r in records.values())
+        assert db.summary(report.campaign_id).total == reference.total
+
+    def test_max_chunk_retries_zero_quarantines_immediately(self):
+        config = EngineConfig(batch_size=8, executor="serial",
+                              max_chunk_retries=0, retry_backoff_s=0.001)
+        report = run_campaign(_chaos("raise", failures=1), config)
+        assert report.quarantined and report.quarantined[0].attempts == 1
+        assert report.retried_chunks == 0
+
+    def test_die_in_worker_walks_ladder_and_recovers(self, caplog):
+        config = EngineConfig(batch_size=8, executor="process", workers=2,
+                              max_chunk_retries=2, retry_backoff_s=0.001,
+                              reuse_pool=False)
+        with caplog.at_level(logging.WARNING, logger="repro.engine"):
+            report = run_campaign(_chaos("die", failures=1), config)
+        reference = run_campaign(
+            _backend(), EngineConfig(batch_size=8, executor="serial"))
+        assert _signature(report) == _signature(reference)
+        assert report.executor == "thread"  # degraded exactly one rung
+        assert report.retried_chunks >= 1
+        assert not report.quarantined
+        assert any("falling back" in r.message for r in caplog.records)
+
+    def test_hung_chunk_times_out_and_recovers(self, caplog):
+        config = EngineConfig(batch_size=8, executor="thread", workers=2,
+                              chunk_timeout=0.4, max_chunk_retries=2,
+                              retry_backoff_s=0.001)
+        with caplog.at_level(logging.WARNING, logger="repro.engine"):
+            report = run_campaign(
+                _chaos("hang", failures=1, hang_s=2.0), config)
+        reference = run_campaign(
+            _backend(), EngineConfig(batch_size=8, executor="serial"))
+        assert _signature(report) == _signature(reference)
+        assert report.executor == "serial"  # thread rung abandoned
+        assert report.retried_chunks == 1
+        assert any("timed out" in r.message for r in caplog.records)
+
+    def test_hang_without_timeout_fails_and_retries(self):
+        # no chunk_timeout: the hang wakes up, raises, and the retry
+        # loop recovers — campaigns without timeouts still terminate
+        config = EngineConfig(batch_size=8, executor="serial",
+                              max_chunk_retries=1, retry_backoff_s=0.001)
+        report = run_campaign(
+            _chaos("hang", failures=1, hang_s=0.05), config)
+        reference = run_campaign(_backend(), config)
+        assert _signature(report) == _signature(reference)
+        assert report.retried_chunks == 1
+
+    def test_accounting_errors_are_not_retried(self):
+        # an on_chunk crash is the campaign's problem, not the chunk's:
+        # it must propagate without burning the retry budget
+        config = EngineConfig(batch_size=8, executor="serial",
+                              max_chunk_retries=5, retry_backoff_s=0.001)
+        hook, _ = _abort_after(2)
+        with pytest.raises(AbortCampaign):
+            run_campaign(_backend(), config, on_chunk=hook)
+
+    def test_chaos_triggers_on_seeded_backends(self):
+        class SeededNoise:
+            name = "noise"
+            circuit_name = "none"
+            fault_model = "noise"
+            workload = "w"
+            lane_width = 1
+
+            def enumerate_points(self):
+                return list(range(16))
+
+            def prepare(self):
+                return None
+
+            def run_batch(self, points):  # pragma: no cover - seeded wins
+                raise AssertionError("seeded path expected")
+
+            def run_batch_seeded(self, points, rng):
+                return [Injection(point=p, location=f"p{p}", cycle=0,
+                                  outcome="failure" if rng.random() < 0.5
+                                  else "masked")
+                        for p in points]
+
+        config = EngineConfig(batch_size=4, executor="serial", seed=3,
+                              max_chunk_retries=2, retry_backoff_s=0.001)
+        reference = run_campaign(SeededNoise(), config)
+        chaos = ChaosBackend(SeededNoise(), [ChaosFault(5, "raise", 1)])
+        report = run_campaign(chaos, config)
+        assert _rows(report) == _rows(reference)  # per-chunk RNG replayed
+        assert report.retried_chunks == 1
+
+
+# ----------------------------------------------------------------------
+# executor drain aggregation
+# ----------------------------------------------------------------------
+class TestDrainAggregation:
+    def test_drain_logs_suppressed_errors(self, caplog):
+        class StaggeredBackend:
+            """Chunk 0 converges (slowly); later chunks fail fast, so
+            speculative in-flight futures hold errors at drain time."""
+
+            name = "staggered"
+            circuit_name = "none"
+            fault_model = "chaos"
+            workload = "w"
+
+            def enumerate_points(self):
+                return list(range(8))
+
+            def prepare(self):
+                return None
+
+            def run_batch(self, points):
+                if points[0] == 0:
+                    time.sleep(0.15)
+                    return [Injection(point=p, location=f"p{p}", cycle=0,
+                                      outcome="failure") for p in points]
+                time.sleep(0.01)
+                raise ChaosError(f"speculative chunk {points[0]} failed")
+
+        backend = StaggeredBackend()
+        chunks = [[0, 1], [2, 3], [4, 5], [6, 7]]
+        seeds = [executors.chunk_seed(0, i) for i in range(4)]
+        with caplog.at_level(logging.WARNING, logger="repro.engine"):
+            converged = executors.run_thread(backend, chunks, seeds,
+                                             lambda batch: True, workers=2)
+        assert converged
+        drained = [r for r in caplog.records if "suppressed" in r.message]
+        assert drained and "ChaosError" in drained[0].message
