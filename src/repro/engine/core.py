@@ -55,6 +55,24 @@ from .executors import EXECUTOR_CHOICES, ExecutorPlan, chunk_seed, plan_executor
 log = logging.getLogger("repro.engine")
 
 
+class _AccountingError(Exception):
+    """An error raised *by* the accounting path (an ``on_chunk`` hook, a
+    checkpoint flush) while an executor was delivering chunks.
+
+    The executor strategies call the accounting callback directly, so
+    without this tag an ``OSError`` from a hook would be indistinguishable
+    from a pool failure in the recovery ladder — and fed to the retry
+    loop after ``accounted`` already advanced, re-executing the wrong
+    chunk and swallowing the error.  The ladder unwraps the tag and
+    re-raises the original exception raw, as the accounting contract
+    promises.
+    """
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(f"{type(cause).__name__}: {cause}")
+        self.cause = cause
+
+
 @dataclass(frozen=True)
 class Injection:
     """One executed injection: where, when, and how it ended.
@@ -168,7 +186,9 @@ class EngineConfig:
     is quarantined; ``chunk_timeout`` (seconds, ``None`` = wait forever)
     declares a dispatched chunk hung when its result is overdue — the
     pool is abandoned, execution degrades one rung of the recovery
-    ladder, and the chunk is retried like any other failure.
+    ladder, and the chunk is retried like any other failure (parent-side
+    retries run against the same deadline, so a deterministic hang
+    quarantines instead of blocking the campaign).
     ``commit_every`` is now the chunk-checkpoint cadence: every commit
     is a crash-consistent batch of per-chunk records that ``resume=``
     can restart from.
@@ -588,6 +608,19 @@ def run_campaign(
         accounted += 1
         return account(batch, index)
 
+    def guarded_account(batch: list[Injection]) -> bool:
+        """``account_chunk`` as handed to the executors: errors from the
+        accounting path are tagged :class:`_AccountingError` so the
+        recovery ladder re-raises them raw instead of mistaking them for
+        chunk or pool failures (an ``OSError`` from a checkpoint flush
+        must not burn a chunk's retry budget)."""
+        try:
+            return account_chunk(batch)
+        except _executors.ChunkError:
+            raise  # malformed batch: a chunk failure, retried as usual
+        except Exception as exc:
+            raise _AccountingError(exc) from exc
+
     # a filter that resolves every point (or enough that the residual
     # uncertainty cannot exceed the margin) converges with zero execution
     converged = bool(skipped) and converged_now()
@@ -645,7 +678,12 @@ def run_campaign(
     report.executor = plan.name
 
     strategy = plan.name
-    payload = plan.payload
+    # The auto-probe's payload pickles the *sliced* (remaining) lists,
+    # but process workers index them with absolute chunk indices — only
+    # usable when the slice started at chunk 0.  On resume, drop it so
+    # run_process re-pickles the full (backend, chunks, seeds) and a
+    # resumed campaign executes exactly the chunks (and seeds) it claims.
+    payload = plan.payload if accounted == 0 else None
     LADDER_FLOOR = "serial"
 
     def degrade(next_strategy: str, reason: str) -> None:
@@ -681,8 +719,12 @@ def run_campaign(
                 time.sleep(delay)
             try:
                 backend.prepare()
-                batch = _executors.execute_chunk(
-                    backend, chunks[index], seeds[index])
+                # the retry honours chunk_timeout too: a deterministically
+                # hung chunk must exhaust its budget and quarantine, not
+                # block the campaign forever in the parent
+                batch = _executors.execute_chunk_timed(
+                    backend, chunks[index], seeds[index],
+                    config.chunk_timeout)
                 validate_batch(batch, index)
             except Exception as exc:
                 error = (exc.cause
@@ -739,19 +781,21 @@ def run_campaign(
                                 f"({type(exc).__name__}: {exc})")
                         continue
                 converged = _executors.run_process(
-                    backend, chunks, seeds, account_chunk, config.workers,
+                    backend, chunks, seeds, guarded_account, config.workers,
                     start=accounted, payload=payload,
                     reuse_pool=config.reuse_pool,
                     timeout=config.chunk_timeout)
             elif strategy == "thread":
                 backend.prepare()
                 converged = _executors.run_thread(
-                    backend, chunks, seeds, account_chunk, config.workers,
+                    backend, chunks, seeds, guarded_account, config.workers,
                     start=accounted, timeout=config.chunk_timeout)
             else:
                 backend.prepare()
                 converged = _executors.run_serial(
-                    backend, chunks, seeds, account_chunk, start=accounted)
+                    backend, chunks, seeds, guarded_account, start=accounted)
+        except _AccountingError as exc:
+            raise exc.cause  # accounting-path errors propagate raw
         except _executors.ChunkTimeout as exc:
             # the hung task may never return; its pool is already
             # abandoned (persistent pools: evicted), so step down a rung

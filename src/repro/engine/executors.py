@@ -43,9 +43,11 @@ import os
 import pickle
 import random
 import tempfile
+import threading
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -126,6 +128,39 @@ def execute_chunk(backend: Any, chunk: Sequence[Any], seed: int) -> list:
     if seeded is not None:
         return seeded(chunk, random.Random(seed))
     return backend.run_batch(chunk)
+
+
+def execute_chunk_timed(backend: Any, chunk: Sequence[Any], seed: int,
+                        timeout: float | None) -> list:
+    """:func:`execute_chunk` with a deadline, for parent-side retries.
+
+    A chunk that already timed out on a pool may hang deterministically;
+    retrying it inline would block the campaign forever on exactly the
+    input ``chunk_timeout`` was configured to survive.  With a timeout
+    the chunk runs on a one-shot daemon thread instead and an overdue
+    result raises :class:`ChunkTimeout` — the hung thread cannot be
+    killed, so it is abandoned (daemon: it dies with the interpreter).
+    """
+    if timeout is None:
+        return execute_chunk(backend, chunk, seed)
+    box: list[tuple[bool, Any]] = []
+
+    def _run() -> None:
+        try:
+            box.append((True, execute_chunk(backend, chunk, seed)))
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box.append((False, exc))
+
+    worker = threading.Thread(target=_run, daemon=True,
+                              name="repro-chunk-retry")
+    worker.start()
+    worker.join(timeout)
+    if not box:
+        raise ChunkTimeout(f"parent-side retry overdue after {timeout}s")
+    ok, value = box[0]
+    if ok:
+        return value
+    raise value
 
 
 def _usable_cpus() -> int:
@@ -428,7 +463,11 @@ def _run_pool(pool: Any, submit: Callable[[int], Any], n_chunks: int,
             future = futures.popleft()
             try:
                 batch = future.result(timeout)
-            except TimeoutError as exc:
+            # FutureTimeout: on 3.10 concurrent.futures raises its own
+            # TimeoutError (an Exception, not the builtin) — without it
+            # the timeout would classify as ChunkError and the finally
+            # path would drain (= block forever on) the hung future
+            except (TimeoutError, FutureTimeout) as exc:
                 hung = True
                 raise ChunkTimeout(
                     f"chunk result overdue after {timeout}s") from exc

@@ -315,6 +315,32 @@ class TestResume:
         assert db.summary(campaign_id).total == reference.total
         db.close()
 
+    def test_resume_on_auto_process_executor_runs_correct_chunks(
+            self, monkeypatch):
+        """Resume + auto-probe → process: the probe's payload pickles the
+        *sliced* remaining lists, but process workers index chunks by
+        absolute index — a resumed campaign must not execute shifted
+        chunks (or shifted seeds) and still report identity."""
+        monkeypatch.setattr(executors, "MIN_BATCH_COST_S", 0.0)
+        monkeypatch.setattr(executors, "MIN_CAMPAIGN_COST_S", 0.0)
+        monkeypatch.setattr(executors, "_usable_cpus", lambda: 2)
+        config = EngineConfig(batch_size=8, executor="auto", workers=2,
+                              commit_every=1)
+        reference = run_campaign(
+            _backend(), EngineConfig(batch_size=8, executor="serial",
+                                     commit_every=1))
+        db = CampaignDb()
+        hook, seen = _abort_after(3)
+        with pytest.raises(AbortCampaign):
+            run_campaign(_backend(), config, db=db, on_chunk=hook)
+        resumed = resume_campaign(_backend(), seen["campaign_id"], config,
+                                  db=db)
+        assert resumed.resumed_chunks >= 1
+        assert resumed.executor == "process"  # the probe did pick process
+        assert not resumed.quarantined
+        assert _signature(resumed) == _signature(reference)
+        assert db.summary(seen["campaign_id"]).total == reference.total
+
 
 # ----------------------------------------------------------------------
 # chunk retry, quarantine, and the recovery ladder (via ChaosBackend)
@@ -456,6 +482,43 @@ class TestRetryAndQuarantine:
         with pytest.raises(AbortCampaign):
             run_campaign(_backend(), config, on_chunk=hook)
 
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_accounting_oserror_propagates_raw(self, executor):
+        # an OSError from the accounting path must not be mistaken for a
+        # pool failure: pre-tagging, the ladder fed it to the retry loop
+        # (which re-executed the *next* chunk) and swallowed the error
+        config = EngineConfig(batch_size=8, executor=executor, workers=2,
+                              max_chunk_retries=5, retry_backoff_s=0.001)
+        calls = {"n": 0}
+
+        def hook(report):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("checkpoint disk full")
+
+        with pytest.raises(OSError, match="checkpoint disk full"):
+            run_campaign(_backend(), config, on_chunk=hook)
+        assert calls["n"] == 2  # no retry re-entered the accounting path
+
+    def test_persistently_hung_chunk_is_quarantined_not_deadlocked(self):
+        # parent-side retries honour chunk_timeout too: a chunk that
+        # hangs deterministically must quarantine after its budget, not
+        # block the campaign forever in the untimed retry loop
+        config = EngineConfig(batch_size=8, executor="thread", workers=2,
+                              chunk_timeout=0.4, max_chunk_retries=1,
+                              retry_backoff_s=0.001)
+        t0 = time.perf_counter()
+        report = run_campaign(
+            _chaos("hang", failures=None, hang_s=8.0), config)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 5.0  # never waited out the 8s hang
+        assert len(report.quarantined) == 1
+        assert report.quarantined[0].index == 2
+        assert "ChunkTimeout" in report.quarantined[0].error
+        reference = run_campaign(
+            _backend(), EngineConfig(batch_size=8, executor="serial"))
+        assert report.executed == reference.executed - 8
+
     def test_chaos_triggers_on_seeded_backends(self):
         class SeededNoise:
             name = "noise"
@@ -525,3 +588,75 @@ class TestDrainAggregation:
         assert converged
         drained = [r for r in caplog.records if "suppressed" in r.message]
         assert drained and "ChaosError" in drained[0].message
+
+
+# ----------------------------------------------------------------------
+# executor timeout taxonomy
+# ----------------------------------------------------------------------
+class _StubFuture:
+    def __init__(self, exc):
+        self._exc = exc
+
+    def result(self, timeout=None):
+        raise self._exc
+
+    def cancel(self):
+        return True
+
+    def cancelled(self):
+        return True
+
+
+class _StubPool:
+    def __init__(self):
+        self.shutdown_calls = []
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls.append((wait, cancel_futures))
+
+
+class TestExecutorTimeouts:
+    def test_futures_timeout_classifies_as_chunk_timeout(self):
+        # concurrent.futures.TimeoutError is NOT the builtin TimeoutError
+        # on 3.10; misclassifying it as ChunkError would send the finally
+        # path into _drain — blocking forever on the hung future
+        import concurrent.futures
+
+        pool = _StubPool()
+        future = _StubFuture(concurrent.futures.TimeoutError())
+        with pytest.raises(executors.ChunkTimeout):
+            executors._run_pool(pool, lambda i: future, 1, 2,
+                                lambda batch: False, 0, timeout=0.1)
+        # the hung pool was abandoned without waiting, never drained
+        assert pool.shutdown_calls == [(False, True)]
+
+    def test_execute_chunk_timed_returns_fast_results(self):
+        backend = _backend()
+        chunk = list(backend.enumerate_points())[:4]
+        seed = executors.chunk_seed(0, 0)
+        backend.prepare()
+        direct = executors.execute_chunk(backend, chunk, seed)
+        timed = executors.execute_chunk_timed(backend, chunk, seed, 30.0)
+        assert [inj.row() for inj in timed] == [inj.row() for inj in direct]
+
+    def test_execute_chunk_timed_abandons_hung_chunk(self):
+        class Sleeper:
+            name = "sleeper"
+            circuit_name = "none"
+            fault_model = "chaos"
+            workload = "w"
+
+            def enumerate_points(self):
+                return [0]
+
+            def prepare(self):
+                return None
+
+            def run_batch(self, points):  # pragma: no cover - abandoned
+                time.sleep(8.0)
+                return []
+
+        t0 = time.perf_counter()
+        with pytest.raises(executors.ChunkTimeout, match="overdue"):
+            executors.execute_chunk_timed(Sleeper(), [0], 1, 0.2)
+        assert time.perf_counter() - t0 < 2.0
