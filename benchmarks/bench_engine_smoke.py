@@ -44,7 +44,16 @@ Four measurements:
     carries the >= 2x-over-packed CI gate (target >= 3x).  The section
     also records the source-interning effect on a cold det-program
     sweep (sites vs unique compiled sources, cold vs warm).
-11. **Resilience**: a campaign aborted mid-flight and resumed from its
+11. **SoA core**: the big-int backing against the level-batched SoA
+    kernel tier (one fused numpy op per level-family group over the
+    whole ``(2 * n_slots, blocks)`` mirror matrix) on a wide random
+    circuit at 256/1024/4096 lanes, via direct ``seu_outcomes`` calls
+    best-of-3.  Identity is required unconditionally — between the two
+    backings at every width, and against a per-point ``inject_seu``
+    probe — and the 1024-lane row carries the >= 2x-over-int CI gate
+    (warning-only when the host's calibrated crossover sits above 1024
+    lanes); the 4096-lane row must not regress below parity.
+12. **Resilience**: a campaign aborted mid-flight and resumed from its
     CampaignDb checkpoints against the uninterrupted reference
     (byte-identical rows, outcomes, counts and convergence — gated
     unconditionally); a persistently-failing chunk (ChaosBackend)
@@ -676,6 +685,101 @@ def _vector_core_measurement(n_cycles=120):
 
 
 # ----------------------------------------------------------------------
+# SoA core: level-batched kernel vs big-int backing on a wide circuit
+# ----------------------------------------------------------------------
+def _soa_core_measurement(n_cycles=24, probe_points=48):
+    from repro.circuit.library import random_sequential
+    from repro.engine import lanes as _lanes
+    from repro.sim import compiled as _compiled
+    from repro.sim import vector as _vector
+    from repro.soft_error.seu import _golden_run, inject_seu
+
+    if not _vector.HAVE_NUMPY:
+        return {"skipped": "numpy not installed"}
+
+    # wide levels are the SoA tier's home turf: ~85 gates per level
+    # amortize the ~4 fused numpy calls each level costs.  The smoke
+    # rand_seq (a handful of gates per level) would measure dispatch
+    # overhead instead of the kernel
+    circuit = random_sequential(n_inputs=80, n_gates=12800, n_flops=320,
+                                seed=3)
+    workload = random_workload(circuit, n_cycles, seed=7)
+    points = [(flop, cyc) for cyc in range(n_cycles)
+              for flop in circuit.flops]
+
+    prog = _compiled.soa_step_program(circuit, 1024)
+    stats = prog.stats
+
+    # identity probe against the per-point injector (inject_seu is the
+    # semantics oracle; running it over the full 7680-point population
+    # would dwarf the bench, so a spread sample carries the gate — the
+    # full-width identity below covers int vs SoA on every point)
+    golden = _golden_run(circuit, workload)
+    probe = points[::len(points) // probe_points][:probe_points]
+    expected = [inject_seu(circuit, workload, flop, cyc, golden)
+                for flop, cyc in probe]
+    probe_ctx = _lanes.build_context(circuit, workload, len(probe),
+                                     backing="soa")
+    probe_identical = _lanes.seu_outcomes(probe_ctx, probe) == expected
+
+    def timed(ctx, group):
+        _lanes.seu_outcomes(ctx, group)  # warm
+        best = None
+        for _ in range(3):
+            start = time.perf_counter()
+            out = _lanes.seu_outcomes(ctx, group)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None or elapsed < best else best
+        return best, out
+
+    rows = {}
+    identical = probe_identical
+    for width in (256, 1024, 4096):
+        group = points[:width]
+        times, outcomes = {}, {}
+        # the per-net ndarray row rides along as the honest baseline the
+        # SoA tier replaces (it loses to int everywhere below ~32k lanes)
+        for backing in ("int", "ndarray", "soa"):
+            ctx = _lanes.build_context(circuit, workload, width,
+                                       backing=backing)
+            times[backing], outcomes[backing] = timed(ctx, group)
+        same = (outcomes["int"] == outcomes["soa"]
+                == outcomes["ndarray"])
+        identical = identical and same
+        rows[f"w{width}"] = {
+            "int_s": round(times["int"], 4),
+            "ndarray_s": round(times["ndarray"], 4),
+            "soa_s": round(times["soa"], 4),
+            "ndarray_speedup": round(times["int"] / times["ndarray"], 2)
+            if times["ndarray"] else float("inf"),
+            "soa_speedup": round(times["int"] / times["soa"], 2)
+            if times["soa"] else float("inf"),
+            "identical": same,
+        }
+    return {
+        "circuit": circuit.name,
+        "n_cycles": n_cycles,
+        "population": len(points),
+        "gates": stats.gates,
+        "levels": stats.levels,
+        "gates_per_level": round(stats.gates / stats.levels, 1),
+        "fused_ops": stats.fused_ops,
+        "scratch_kb_1024": stats.scratch_bytes // 1024,
+        # the auto crossover in effect on this host (env/calibration
+        # included) — the regression gate softens to a warning when it
+        # sits above 1024, i.e. when this host measurably shouldn't run
+        # SoA at that width
+        "soa_min_lanes": _vector.SOA_MIN_LANES,
+        "probe_identical_vs_inject_seu": probe_identical,
+        "grid": rows,
+        "outcome_identical": identical,
+        "soa_speedup_256": rows["w256"]["soa_speedup"],
+        "soa_speedup_1024": rows["w1024"]["soa_speedup"],
+        "soa_speedup_4096": rows["w4096"]["soa_speedup"],
+    }
+
+
+# ----------------------------------------------------------------------
 # pattern shipping: large PPSFP payloads park in the temp-file channel
 # ----------------------------------------------------------------------
 def _pattern_shipping_measurement(n_inputs=48, n_gates=600,
@@ -842,6 +946,7 @@ def run_smoke():
         "compiled_sim": _compiled_sim_measurement(),
         "pattern_shipping": _pattern_shipping_measurement(),
         "vector_core": _vector_core_measurement(),
+        "soa_core": _soa_core_measurement(),
         "resilience": _resilience_measurement(),
     }
     if cpus < 2:
@@ -916,6 +1021,16 @@ def test_engine_smoke(benchmark):
                      f"{row['speedup_vs_packed']:.2f}x"
                      + ("" if row["identical_vs_per_point"]
                         else " MISMATCH")))
+    soa = record["soa_core"]
+    if "grid" in soa:
+        for key, row in soa["grid"].items():
+            rows.append((f"soa {key} int/ndarray/soa",
+                         f"{row['int_s']:.3f}s / {row['ndarray_s']:.3f}s"
+                         f" / {row['soa_s']:.3f}s",
+                         f"{soa['gates_per_level']} gates/level, "
+                         f"{soa['fused_ops']} fused ops",
+                         f"{row['soa_speedup']:.2f}x"
+                         + ("" if row["identical"] else " MISMATCH")))
     intern = vcore["interning"]
     rows.append(("det-source interning",
                  f"{intern['cold_s']:.3f}s cold",

@@ -21,6 +21,13 @@ when the engine's perf claims regress:
   (unconditional), or the 256-lane vector SEU campaign fell below 2x
   over the packed-64 compiled path (the headline target is >= 3x), or
   source interning stopped deduplicating det-program sources;
+* the SoA kernel tier lost identity — between the int and SoA backings
+  at any lane width, or against the per-point ``inject_seu`` probe —
+  (unconditional), or fusion stopped working (fused numpy ops no longer
+  a small fraction of the gate count), or SoA at 1024 lanes fell below
+  the 2x-over-int floor (enforced when the host's crossover record says
+  SoA should win there; a warning otherwise, mirroring the multicore
+  scaling gate), or SoA at 4096 lanes dropped below parity with int;
 * kill-and-resume no longer reproduces the uninterrupted campaign
   byte-for-byte (unconditional), a persistently-failing chunk stopped
   being quarantined cleanly, or the armed fault-tolerance machinery
@@ -142,6 +149,39 @@ def check(record: dict) -> list[str]:
                 f"sources ({intern['unique_sources']} sources for "
                 f"{intern['compiled_sites']} sites)")
 
+    soa = record.get("soa_core")
+    if soa is None:
+        failures.append("soa_core rows missing from the bench record")
+    elif "skipped" not in soa:
+        for key, row in soa["grid"].items():
+            if not row["identical"]:
+                failures.append(
+                    f"soa core {key}: int and soa backings disagree on "
+                    "outcomes")
+        if not soa["probe_identical_vs_inject_seu"]:
+            failures.append(
+                "soa core no longer matches the per-point inject_seu probe")
+        if soa["fused_ops"] * 4 > soa["gates"]:
+            failures.append(
+                f"soa fusion degraded: {soa['fused_ops']} numpy calls for "
+                f"{soa['gates']} gates (floor: 4 gates per call)")
+        if soa["soa_speedup_1024"] < 2.0:
+            if soa.get("soa_min_lanes", 0) <= 1024:
+                failures.append(
+                    f"soa speedup at 1024 lanes {soa['soa_speedup_1024']}x "
+                    "fell below the 2x-over-int floor (target >= 2x)")
+            else:
+                # this host's measured crossover says SoA shouldn't win at
+                # 1024 lanes — report, don't enforce (mirrors the multicore
+                # scaling gate on single-CPU hosts)
+                print(f"warning: soa speedup at 1024 lanes "
+                      f"{soa['soa_speedup_1024']}x below 2x, but host "
+                      f"crossover is {soa['soa_min_lanes']} lanes")
+        if soa["soa_speedup_4096"] < 1.0:
+            failures.append(
+                f"soa speedup at 4096 lanes {soa['soa_speedup_4096']}x "
+                "regressed below parity with the int backing")
+
     res = record.get("resilience")
     if res is None:
         failures.append("resilience rows missing from the bench record")
@@ -198,6 +238,9 @@ def main(argv: list[str]) -> int:
     lanes = record["lane_packing"]["seu"]
     csim = record["compiled_sim"]
     vcore = record["vector_core"]
+    soa = record["soa_core"]
+    soa_note = (f"soa x1024 {soa['soa_speedup_1024']}x"
+                if "grid" in soa else "soa skipped")
     res = record["resilience"]
     print(f"engine perf gate OK (host_cpus={record.get('host_cpus')}, "
           f"seu process_x4 speedup {seu['process_x4_speedup']}x, "
@@ -206,6 +249,7 @@ def main(argv: list[str]) -> int:
           f"seu {csim['seu']['speedup']}x, "
           f"vector seu x256 {vcore['vector_speedup_256']}x / "
           f"x1024 {vcore['vector_speedup_1024']}x, "
+          f"{soa_note}, "
           f"resume identical, retry overhead {res['retry_overhead']}x)")
     return 0
 

@@ -21,13 +21,20 @@ of lane count (Python bigint bitwise ops are width-insensitive at these
 sizes), so a ``W``-lane run replaces ``W`` sequential resimulations.
 
 Widths beyond 64 engage the **vector tier**: the packed word outgrows
-the machine word and is carried either by an arbitrary-precision int
-(the default — big-int ops stay near width-insensitive to ~32k lanes)
-or by a numpy ``uint64`` block array fed through the same compiled step
-function (auto-selected past :data:`repro.sim.vector.NDARRAY_MIN_LANES`,
-or forced via ``backing=`` / ``RESCUE_VECTOR_BACKING``).  Per-lane flips
-become index-computed XOR masks into the block array and outcome
-recovery is a vectorized XOR against the golden trace; both backings
+the machine word and is carried by an arbitrary-precision int (big-int
+ops stay near width-insensitive to very large widths), by a numpy
+``uint64`` block array per net fed through the same compiled step
+function, or — the default from ~1k lanes on circuits with wide
+levels — by the structure-of-arrays kernel tier
+(:class:`repro.sim.compiled.SoaStepProgram`), which holds the whole
+net state in one 2-D block matrix and runs each topological level as a
+handful of fused numpy calls.  The backing auto-picks per
+:func:`repro.sim.vector.resolve_backing` (force with ``backing=`` /
+``RESCUE_VECTOR_BACKING``).  Per-lane flips become index-computed XOR
+masks into the packed word (for the SoA backing, one fancy-indexed XOR
+into the state rows *and their complement mirror* — ``~x ^ b ==
+~(x ^ b)``, so one write keeps the mirror invariant) and outcome
+recovery is a vectorized XOR against the golden trace; all backings
 are byte-identical to the 64-lane and 1-lane references.  Without
 numpy installed, widths above 64 degrade to 64 with a one-time logged
 warning (:func:`resolve_lane_width`).
@@ -44,6 +51,8 @@ so outcome multisets are byte-identical at every lane width.
 
 from __future__ import annotations
 
+import logging
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
@@ -53,6 +62,8 @@ from ..sim import vector as _vector
 from ..sim.logic import mask_of, simulate
 from ..sim.sequential import SequentialSim
 from .core import _chunked
+
+log = logging.getLogger("repro.engine")
 
 #: Default number of fault instances packed into one sequential run.
 DEFAULT_LANE_WIDTH = 64
@@ -145,8 +156,9 @@ class LaneContext:
     rep_trace: list[dict[str, int]]
     states: list[dict[str, int]]
     final_state: dict[str, int]
-    #: ``"int"`` (packed big int — any width) or ``"ndarray"`` (numpy
-    #: uint64 blocks through the same compiled step function).
+    #: ``"int"`` (packed big int — any width), ``"ndarray"`` (numpy
+    #: uint64 blocks per net through the same compiled step function)
+    #: or ``"soa"`` (the level-batched structure-of-arrays kernel).
     backing: str = "int"
     n_blocks: int = 1
 
@@ -202,6 +214,38 @@ class LaneContext:
         self._raw_nd = (program, stim, trace, states, final, ones)
         return stim, trace, states, final, ones
 
+    def raw_views_soa(self, program) -> tuple:
+        """Matrix raw views for the SoA backing.
+
+        The replicated golden data becomes dense uint64 matrices —
+        ``stim[cycle]`` is the ``(n_inputs, n_blocks)`` slab assigned
+        straight into the state matrix's PI rows, ``trace[cycle]`` the
+        PO slab XORed against the gathered outputs, ``states[cycle]`` /
+        ``final`` the flop slabs.  Built directly from the 1-bit
+        golden data (every replicated word is all-zero or the lane
+        mask), no big-int round trips.
+        """
+        cached = getattr(self, "_raw_soa", None)
+        if cached is not None and cached[0] is program:
+            return cached[1:]
+        np = _vector.np
+        ones = _vector.mask_array(self.width, self.n_blocks)
+        zero = np.uint64(0)
+
+        def mat(bit_rows):
+            bits = np.asarray(bit_rows, dtype=bool)
+            return np.where(bits[..., None], ones, zero)
+
+        stim = mat([[bool(cyc.get(pi, 0)) for pi in program.inputs]
+                    for cyc in self.rep_stimuli])
+        trace = mat([[bool(cyc[po]) for po in program.outputs]
+                     for cyc in self.rep_trace])
+        states = mat([[bool(st[q]) for q in program.flop_qs]
+                      for st in self.states])
+        final = mat([bool(self.final_state[q]) for q in program.flop_qs])
+        self._raw_soa = (program, stim, trace, states, final, ones)
+        return stim, trace, states, final, ones
+
 
 def build_context(
     circuit: Circuit,
@@ -219,14 +263,32 @@ def build_context(
 
     ``backing`` selects the packed-word representation for widths
     beyond 64 (``None`` auto-picks per :func:`repro.sim.vector
-    .resolve_backing`); the ndarray backing additionally needs the
-    compiled step program, so it falls back to packed ints when
-    compilation is globally disabled (identical outcomes either way).
+    .resolve_backing`, fed the step program's mean gates-per-level so
+    narrow circuits — where the SoA kernel cannot amortize per-level
+    dispatch — stay on packed ints); the ndarray and SoA backings
+    additionally need compiled programs, so they fall back to packed
+    ints when compilation is globally disabled (identical outcomes
+    either way).
     """
     mask = mask_of(width)
-    resolved_backing = _vector.resolve_backing(width, backing)
-    if resolved_backing == "ndarray" and not _compiled.compilation_enabled():
+    resolved_backing = _vector.resolve_backing(
+        width, backing, level_width=_level_width_hint(circuit, width,
+                                                      backing))
+    if resolved_backing in ("ndarray", "soa") \
+            and not _compiled.compilation_enabled():
         resolved_backing = "int"  # interpreter path carries big ints
+    if resolved_backing == "soa":
+        program = _compiled.soa_step_program(circuit, width)
+        if program is None:  # pragma: no cover - numpy checked above
+            resolved_backing = "int"
+        else:
+            st = program.stats
+            log.debug(
+                "lane backing=soa width=%d: %d gates / %d levels "
+                "(%.1f gates/level), %d fused ops/cycle, %d B scratch",
+                width, st.gates, st.levels,
+                st.gates / max(1, st.levels), st.fused_ops,
+                st.scratch_bytes)
     if golden is not None:
         states = [dict(st) for st in golden[0]]
         values = golden[1]
@@ -257,6 +319,30 @@ def build_context(
                        n_blocks=_vector.blocks_for(width))
 
 
+def _level_width_hint(circuit: Circuit, width: int,
+                      backing: str | None) -> float | None:
+    """Mean gates-per-level of the step kernel, when it could steer the
+    auto backing choice.
+
+    Computed only when auto-selection is actually in play (no explicit
+    or env-forced backing) and the width is in the range where the SoA
+    crossover depends on circuit shape — building the schedule is one
+    pass over the netlist and is cached on the circuit regardless of
+    the choice made.
+    """
+    if backing is not None or os.environ.get(_vector.ENV_BACKING):
+        return None
+    if not _vector.HAVE_NUMPY or not _compiled.compilation_enabled():
+        return None
+    if width < _vector.SOA_MIN_LANES or width >= _vector.NDARRAY_MIN_LANES:
+        return None  # the hint cannot change the outcome there
+    program = _compiled.soa_step_program(circuit, width)
+    if program is None:
+        return None
+    st = program.stats
+    return st.gates / max(1, st.levels)
+
+
 def propagate(ctx: LaneContext, flips: Mapping[int, Mapping[str, int]],
               start: int, n_lanes: int) -> tuple[int, int]:
     """One packed fault-free propagation with scheduled per-lane flips.
@@ -273,6 +359,10 @@ def propagate(ctx: LaneContext, flips: Mapping[int, Mapping[str, int]],
     """
     mask = ctx.mask
     lanes = mask_of(n_lanes)
+    if ctx.backing == "soa":
+        soa = _compiled.soa_step_program(ctx.circuit, ctx.width)
+        if soa is not None:
+            return _propagate_soa(ctx, soa, flips, start, lanes)
     program = _compiled.step_program(ctx.circuit)
     if program is not None and ctx.backing == "ndarray":
         return _propagate_ndarray(ctx, program, flips, start, lanes)
@@ -356,6 +446,102 @@ def _propagate_ndarray(ctx: LaneContext, program, flips, start: int,
     return fail_int, latent_int
 
 
+def _propagate_soa(ctx: LaneContext, program, flips, start: int,
+                   lanes: int) -> tuple[int, int]:
+    """The SoA-backed packed propagation.
+
+    The whole multi-cycle loop stays inside numpy: stimuli are slab
+    assignments into the state matrix's PI rows, the kernel evaluates
+    each level as fused array ops, PO divergence and the next state
+    come back as row gathers.  Per-lane flips XOR the same words into a
+    flop's row *and* its mirror row in one fancy-indexed update
+    (``~x ^ b == ~(x ^ b)`` keeps the complement invariant).  The state
+    matrix is allocated per call — contexts are shared across thread
+    executors — while the flip words, converted from packed ints in one
+    bytes pass per cycle, stay local anyway.
+    """
+    np = _vector.np
+    mask = ctx.mask
+    blocks = ctx.n_blocks
+    stim, trace, states, final, ones = ctx.raw_views_soa(program)
+    kernel = program.kernel
+    n = kernel.n_slots
+    pa, pb = program.pi_slice
+    qa, qb = program.q_slice
+    q_index = program.q_index
+    po_rows = program.po_rows
+    d_rows = program.d_rows
+    sched = {}
+    for cyc, cyc_flips in flips.items():
+        packed = b"".join((m & mask).to_bytes(blocks * 8, "little")
+                          for m in cyc_flips.values())
+        bits = np.frombuffer(packed, dtype="<u8").astype(
+            np.uint64).reshape(len(cyc_flips), blocks)
+        rows = np.asarray([qa + q_index[q] for q in cyc_flips],
+                          dtype=np.intp)
+        sched[cyc] = (np.concatenate([rows, rows + n]),
+                      np.concatenate([bits, bits]))
+    S = np.zeros((2 * n, blocks), dtype=np.uint64)
+    S[n] = ones
+    S[qa:qb] = states[start]
+    np.invert(S[qa:qb], out=S[n + qa:n + qb])
+    bound = kernel.bind(S)  # output views are replayed every cycle
+    fail = _vector.zeros(blocks)
+    tmp = np.empty(blocks, dtype=np.uint64)
+    for cyc in range(start, ctx.n_cycles):
+        cyc_sched = sched.get(cyc)
+        if cyc_sched is not None:
+            rows, bits = cyc_sched
+            S[rows] ^= bits
+        S[pa:pb] = stim[cyc]
+        np.invert(S[pa:pb], out=S[n + pa:n + pb])
+        kernel.execute_bound(S, bound)
+        if len(po_rows):
+            po = S.take(po_rows, axis=0)
+            po ^= trace[cyc]
+            np.bitwise_or.reduce(po, axis=0, out=tmp)
+            fail |= tmp
+        nxt = S.take(d_rows, axis=0)
+        S[qa:qb] = nxt
+        np.invert(nxt, out=nxt)
+        S[n + qa:n + qb] = nxt
+    diff = _vector.zeros(blocks)
+    if qb > qa:
+        np.bitwise_or.reduce(S[qa:qb] ^ final, axis=0, out=diff)
+    fail_int = _vector.from_blocks(fail) & lanes
+    latent_int = _vector.from_blocks(diff) & lanes & ~fail_int
+    return fail_int, latent_int
+
+
+def _outcome_list(fail: int, latent: int, count: int) -> list[str]:
+    """Per-lane outcome labels from the packed fail/latent words.
+
+    The naive per-lane ``(word >> i) & 1`` probe rescans the big int
+    per lane — quadratic in width once words span thousands of bits —
+    so wide words unpack through numpy in one pass and only the set
+    bits are visited.
+    """
+    if count > 64 and _vector.HAVE_NUMPY and (fail | latent):
+        np = _vector.np
+        nbytes = (count + 7) // 8
+        outcomes = [MASKED] * count
+
+        def hot(word: int):
+            arr = np.frombuffer(word.to_bytes(nbytes, "little"),
+                                dtype=np.uint8)
+            return np.flatnonzero(
+                np.unpackbits(arr, bitorder="little")[:count]).tolist()
+
+        for i in hot(latent):
+            outcomes[i] = LATENT
+        for i in hot(fail):  # fail wins where both are set (they can't
+            outcomes[i] = FAILURE  # be, but keep the precedence explicit)
+        return outcomes
+    return [FAILURE if (fail >> i) & 1 else
+            LATENT if (latent >> i) & 1 else MASKED
+            for i in range(count)]
+
+
 def seu_outcomes(ctx: LaneContext,
                  points: Sequence[tuple[str, int]]) -> list[str]:
     """Classify up to ``ctx.width`` SEU points in one packed run.
@@ -382,9 +568,7 @@ def seu_outcomes(ctx: LaneContext,
     if start >= ctx.n_cycles:
         return [MASKED] * len(points)
     fail, latent = propagate(ctx, flips, start, len(points))
-    return [FAILURE if (fail >> i) & 1 else
-            LATENT if (latent >> i) & 1 else MASKED
-            for i in range(len(points))]
+    return _outcome_list(fail, latent, len(points))
 
 
 def transient_outcomes(
@@ -433,7 +617,7 @@ def transient_outcomes(
         lane_of.append(i)
     if lane_of:
         fail, latent = propagate(ctx, flips, start, len(lane_of))
-        for lane, i in enumerate(lane_of):
-            outcomes[i] = (FAILURE if (fail >> lane) & 1 else
-                           LATENT if (latent >> lane) & 1 else MASKED)
+        labels = _outcome_list(fail, latent, len(lane_of))
+        for i, label in zip(lane_of, labels):
+            outcomes[i] = label
     return outcomes  # type: ignore[return-value]

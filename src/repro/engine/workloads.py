@@ -365,6 +365,11 @@ class SlicingBackend:
     the forced value at that cycle — machines identical, masked).  Both
     are provably lossless, so filtered campaigns classify byte-identical
     to unfiltered ones while skipping most of the simulation cost.
+
+    ``lane_width`` > 1 packs the multi-cycle propagation of surviving
+    state perturbations into bit lanes; widths above 64 ride the vector
+    tier (``lane_backing`` picks ``"int"``, ``"soa"`` or ``"ndarray"``,
+    auto-resolved when ``None`` — see :mod:`repro.sim.vector`).
     """
 
     name = "slicing"
