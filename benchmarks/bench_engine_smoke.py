@@ -925,6 +925,116 @@ def _resilience_measurement(n_cycles=60, abort_after=5, rounds=3):
     }
 
 
+# ----------------------------------------------------------------------
+# campaign service: N-worker report identity under SIGKILL, lease cost
+# ----------------------------------------------------------------------
+def _service_resilience_measurement(n_cycles=60, rounds=3):
+    import os
+    import tempfile
+
+    from repro.engine import HostChaos, HostFault, shutdown_pools
+    from repro.service import CampaignQueue, CampaignWorker, \
+        run_service_campaign
+
+    # earlier sections leave persistent process pools (and their handler
+    # threads) alive; on a small host they skew the single-worker timing
+    # below, so start from a quiet machine
+    shutdown_pools()
+
+    circuit = load("rand_seq")
+    workload = random_workload(circuit, n_cycles, seed=7)
+    population = len(circuit.flops) * n_cycles
+
+    def make_backend():
+        return SeuBackend(circuit.copy(), workload, lane_width=1)
+
+    # identity scenario: 24 chunks of 30, so the sabotaged worker gets to
+    # its 2nd claim before its peers drain the lease table.  Overhead
+    # measurement: a 2x-longer workload in 60-point chunks — the cadence
+    # real campaigns run at, long enough that per-campaign constants
+    # (submit, plan, report replay) amortize the way they do in practice.
+    config = EngineConfig(batch_size=30, executor="serial")
+    overhead_workload = random_workload(circuit, 2 * n_cycles, seed=7)
+    overhead_config = EngineConfig(batch_size=60, executor="serial")
+
+    def make_overhead_backend():
+        return SeuBackend(circuit.copy(), overhead_workload, lane_width=1)
+
+    def signature(report):
+        return ([(i.location, i.cycle, i.outcome) for i in report.injections],
+                report.outcomes, report.total, report.converged,
+                report.confidence_interval("failure"))
+
+    reference = run_campaign(make_backend(), config)
+    overhead_reference = run_campaign(make_overhead_backend(),
+                                      overhead_config)
+
+    # identity under host chaos: 4 local worker processes, one SIGKILLed
+    # the moment it claims its 2nd lease — its chunk must be reassigned
+    # (deadline expiry) and the assembled report must stay byte-identical
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+        db_path = os.path.join(tmp, "service.sqlite")
+        report = run_service_campaign(
+            make_backend(), config, db_path=db_path, n_workers=4,
+            worker_kwargs={"lease_ttl": 1.0},
+            per_worker={1: {"chaos": HostChaos(
+                [HostFault("sigkill", after_chunks=2)])}},
+            wait_timeout=300)
+        with CampaignQueue(db_path) as queue:
+            job = queue.poll(1)
+            takeovers = queue.leases.takeover_total(job.campaign_id)
+    report_identical = signature(report) == signature(reference)
+
+    # lease/heartbeat cost: a clean single-worker service run (submit →
+    # claim/execute/record per chunk → replay-assembled report) against
+    # a direct engine run checkpointing to the same kind of file-backed
+    # db.  Rounds are interleaved (direct, service, direct, ...) so slow
+    # machine drift cancels out of the min-of-rounds ratio.
+    def one_direct():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-db-") as t:
+            db = CampaignDb(os.path.join(t, "direct.sqlite"))
+            start = time.perf_counter()
+            run_campaign(make_overhead_backend(), overhead_config, db=db)
+            elapsed = time.perf_counter() - start
+            db.close()
+        return elapsed
+
+    def one_service():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as t:
+            db_path = os.path.join(t, "svc.sqlite")
+            # client connection opened outside the timed region, exactly
+            # like the direct baseline's CampaignDb above
+            with CampaignQueue(db_path) as queue:
+                start = time.perf_counter()
+                job_id = queue.submit(make_overhead_backend(),
+                                      overhead_config)
+                CampaignWorker(db_path, worker_id="bench",
+                               lease_ttl=10.0).run()
+                svc_report = queue.result(job_id)
+                elapsed = time.perf_counter() - start
+        assert signature(svc_report) == signature(overhead_reference)
+        return elapsed
+
+    direct_s = service_s = None
+    for _ in range(rounds):
+        elapsed = one_direct()
+        direct_s = elapsed if direct_s is None else min(direct_s, elapsed)
+        elapsed = one_service()
+        service_s = elapsed if service_s is None else min(service_s, elapsed)
+    return {
+        "circuit": circuit.name,
+        "population": population,
+        "overhead_population": len(circuit.flops) * 2 * n_cycles,
+        "n_workers": 4,
+        "report_identical": report_identical,
+        "takeovers": takeovers,
+        "direct_s": round(direct_s, 4),
+        "service_s": round(service_s, 4),
+        "lease_overhead": round(service_s / direct_s, 3) if direct_s
+        else float("inf"),
+    }
+
+
 def run_smoke():
     cpus = _host_cpus()
     seu = _seu_scaling()
@@ -948,6 +1058,7 @@ def run_smoke():
         "vector_core": _vector_core_measurement(),
         "soa_core": _soa_core_measurement(),
         "resilience": _resilience_measurement(),
+        "service_resilience": _service_resilience_measurement(),
     }
     if cpus < 2:
         record["note"] = (
@@ -1050,6 +1161,15 @@ def test_engine_smoke(benchmark):
                  f"{res['guarded_s']:.3f}s armed",
                  f"{res['bare_s']:.3f}s bare",
                  f"{res['retry_overhead']:.3f}x"))
+    svc = record["service_resilience"]
+    rows.append(("service 4 workers + SIGKILL",
+                 f"{svc['takeovers']} takeover(s)",
+                 f"{svc['population']} inj",
+                 "identical" if svc["report_identical"] else "MISMATCH"))
+    rows.append(("service lease overhead",
+                 f"{svc['service_s']:.3f}s service",
+                 f"{svc['direct_s']:.3f}s direct",
+                 f"{svc['lease_overhead']:.3f}x"))
     ship = record["pattern_shipping"]
     rows.append(("ppsfp payload inline",
                  f"{ship['backend_inline_bytes']} B",

@@ -16,6 +16,16 @@ connections run in WAL mode with a busy timeout, and chunk writes are
 idempotent (``INSERT OR IGNORE`` on the chunk key): replaying a chunk
 whose record already committed is a no-op, so a crash between commit
 and checkpoint can never double-count on resume.
+
+On top of the checkpoint log sit the **campaign-service tables**
+(:mod:`repro.service`): ``service_jobs`` (the submit/poll/cancel
+queue), ``leases`` (per-chunk work claims — ``(campaign_id,
+chunk_index, worker_id, deadline)`` rows that any number of worker
+processes/hosts contend for with atomic conditional UPDATEs), and
+``service_workers`` (heartbeat + failure accounting per worker).  The
+schema is shared-file multi-writer by design: every table is keyed so
+writes are single-row and conditional, and WAL plus the busy timeout
+serialize concurrent workers without lost updates.
 """
 
 from __future__ import annotations
@@ -54,8 +64,43 @@ CREATE TABLE IF NOT EXISTS chunks (
     error TEXT,
     PRIMARY KEY (campaign_id, chunk_index)
 );
+CREATE TABLE IF NOT EXISTS leases (
+    campaign_id INTEGER NOT NULL,
+    chunk_index INTEGER NOT NULL,
+    state TEXT NOT NULL DEFAULT 'pending',
+    worker_id TEXT,
+    deadline REAL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    takeovers INTEGER NOT NULL DEFAULT 0,
+    error TEXT,
+    PRIMARY KEY (campaign_id, chunk_index)
+);
+CREATE TABLE IF NOT EXISTS service_jobs (
+    id INTEGER PRIMARY KEY,
+    state TEXT NOT NULL DEFAULT 'pending',
+    payload BLOB NOT NULL,
+    campaign_id INTEGER,
+    fingerprint TEXT,
+    n_chunks INTEGER,
+    converged_chunk INTEGER,
+    submitted_at REAL,
+    started_at REAL,
+    finished_at REAL,
+    error TEXT
+);
+CREATE TABLE IF NOT EXISTS service_workers (
+    worker_id TEXT PRIMARY KEY,
+    pid INTEGER,
+    host TEXT,
+    state TEXT NOT NULL DEFAULT 'alive',
+    started_at REAL,
+    last_heartbeat REAL,
+    chunks_done INTEGER NOT NULL DEFAULT 0,
+    failures INTEGER NOT NULL DEFAULT 0
+);
 CREATE INDEX IF NOT EXISTS idx_inj_campaign ON injections(campaign_id);
 CREATE INDEX IF NOT EXISTS idx_inj_outcome ON injections(outcome);
+CREATE INDEX IF NOT EXISTS idx_lease_state ON leases(campaign_id, state);
 """
 
 #: How long a writer waits on a locked database before failing (ms).
@@ -138,8 +183,15 @@ class CampaignDb:
         cols = {row[1] for row in
                 self.conn.execute("PRAGMA table_info(injections)")}
         if "chunk_index" not in cols:
-            self.conn.execute(
-                "ALTER TABLE injections ADD COLUMN chunk_index INTEGER")
+            try:
+                self.conn.execute(
+                    "ALTER TABLE injections ADD COLUMN chunk_index INTEGER")
+            except sqlite3.OperationalError as exc:
+                # Service workers open the same file concurrently, so two
+                # connections can both observe the missing column and race
+                # the ALTER; the loser's "duplicate column" is benign.
+                if "duplicate column" not in str(exc).lower():
+                    raise
         self.conn.execute(
             "CREATE INDEX IF NOT EXISTS idx_inj_chunk"
             " ON injections(campaign_id, chunk_index)")

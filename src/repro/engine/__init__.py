@@ -66,6 +66,9 @@ _CHAOS_EXPORTS = frozenset({
     "ChaosBackend",
     "ChaosError",
     "ChaosFault",
+    "HostChaos",
+    "HostFault",
+    "cleanup_scratch",
 })
 
 
@@ -97,6 +100,8 @@ __all__ = [
     "EngineConfig",
     "ExecutorPlan",
     "GpgpuSeuBackend",
+    "HostChaos",
+    "HostFault",
     "Injection",
     "InjectionBackend",
     "LaserFiBackend",
@@ -113,6 +118,7 @@ __all__ = [
     "SocBackend",
     "UNDETECTED",
     "chunk_seed",
+    "cleanup_scratch",
     "plan_executor",
     "point_seed",
     "ppsfp_result",

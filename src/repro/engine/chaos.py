@@ -27,19 +27,52 @@ a transient harness fault the retry loop must survive.  The attempt
 counter lives in a scratch directory as ``O_CREAT | O_EXCL`` marker
 files, so it counts correctly across worker *processes* (a worker that
 died mid-chunk has still consumed an attempt) and needs no shared
-memory.
+memory.  Marker scratch is campaign-scoped: a cleanly completed
+campaign clears its markers (engine ``campaign_finished`` hook) and
+every owned scratch dir is swept by :func:`cleanup_scratch` (invoked
+from ``shutdown_pools()`` and atexit), so nothing leaks into the temp
+dir.
+
+:class:`HostFault` / :class:`HostChaos` extend the same idea one level
+up, to the campaign *service* (:mod:`repro.service`): scripted
+host-level failures — SIGKILL mid-chunk, frozen heartbeats, clock
+skew, a stale worker resuming after its lease was reassigned — that
+the lease machinery must absorb while keeping the campaign report
+byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import os
+import shutil
+import signal
 import tempfile
 import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 CHAOS_MODES = ("raise", "hang", "die", "malform")
+
+# Scratch directories created by ChaosBackend instances in this process
+# (attempt-marker files live there).  They used to leak into the temp
+# dir after campaigns; now every owned dir is registered here and swept
+# by :func:`cleanup_scratch` — called from ``engine.executors
+# .shutdown_pools()`` and at interpreter exit — while a cleanly
+# completed campaign clears its own markers via the engine's
+# ``campaign_finished`` hook.
+_scratch_dirs: set[str] = set()
+
+
+def cleanup_scratch() -> None:
+    """Remove every chaos scratch directory this process created."""
+    for path in list(_scratch_dirs):
+        _scratch_dirs.discard(path)
+        shutil.rmtree(path, ignore_errors=True)
+
+
+atexit.register(cleanup_scratch)
 
 
 class ChaosError(RuntimeError):
@@ -82,8 +115,10 @@ class ChaosBackend:
         self.inner = inner
         self.faults = list(faults)
         self.hang_s = hang_s
-        self.scratch_dir = scratch_dir or tempfile.mkdtemp(
-            prefix="repro-chaos-")
+        if scratch_dir is None:
+            scratch_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+            _scratch_dirs.add(scratch_dir)
+        self.scratch_dir = scratch_dir
         self._parent_pid = os.getpid()
         self.name = inner.name
         self.circuit_name = inner.circuit_name
@@ -103,6 +138,30 @@ class ChaosBackend:
         if garbage is not None:
             return garbage
         return self.inner.run_batch(points)
+
+    def campaign_finished(self) -> None:
+        """Engine hook (clean campaign completion): drop this campaign's
+        attempt markers so they never outlive the campaign.
+
+        Parent-process only — a pool worker holding a pickled copy must
+        not delete markers the parent still owns — and budgets reset
+        with the markers: each campaign run on this wrapper gets the
+        scripted faults afresh.
+        """
+        inner_hook = getattr(self.inner, "campaign_finished", None)
+        if inner_hook is not None:
+            inner_hook()
+        if os.getpid() != self._parent_pid:
+            return
+        try:
+            names = os.listdir(self.scratch_dir)
+        except OSError:
+            return
+        for name in names:
+            try:
+                os.unlink(os.path.join(self.scratch_dir, name))
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
 
     def __getattr__(self, name: str):
         # Optional-protocol hooks (lane_width, filter_points, use_filter,
@@ -170,3 +229,86 @@ class ChaosBackend:
                 f"injected failure {attempt} on chunk containing "
                 f"{fault.trigger!r}")
         return None
+
+
+# ----------------------------------------------------------------------
+# host-level faults: sabotage a campaign-service *worker host*, not a
+# chunk.  ChaosFault breaks one batch; HostFault breaks the machine the
+# batch runs on — the failure modes the lease machinery must survive.
+# ----------------------------------------------------------------------
+HOST_FAULT_KINDS = ("sigkill", "freeze_heartbeat", "clock_skew", "stall")
+
+
+@dataclass(frozen=True)
+class HostFault:
+    """One scripted host fault for a :class:`repro.service.worker
+    .CampaignWorker`.
+
+    ``after_chunks`` is the 1-based ordinal of the worker's *claimed*
+    chunk the fault keys on:
+
+    * ``sigkill``          — ``SIGKILL`` the worker process the moment
+      it claims its Nth lease (dead mid-chunk: lease held, chunk
+      unrecorded; recovery = deadline expiry + reclaim by a peer);
+    * ``freeze_heartbeat`` — heartbeats stop once N chunks have been
+      claimed; the worker keeps executing, so its leases expire under
+      it and peers legitimately take the work over;
+    * ``clock_skew``       — every clock read this worker makes is off
+      by ``skew_s`` (positive: it reclaims peers' live leases early;
+      negative: its own deadlines are born expired — either way the
+      campaign must stay byte-identical, duplicates and all);
+    * ``stall``            — the worker goes dark for ``stall_s``
+      seconds *between executing its Nth chunk and recording it*: the
+      stale-worker scenario, where the lease is reassigned and
+      re-executed elsewhere while the original still comes back and
+      writes its (idempotently ignored, byte-identical) result.
+    """
+
+    kind: str
+    after_chunks: int = 1
+    skew_s: float = 0.0
+    stall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in HOST_FAULT_KINDS:
+            raise ValueError(f"unknown host fault {self.kind!r}; "
+                             f"pick one of {HOST_FAULT_KINDS}")
+
+
+class HostChaos:
+    """Deterministic host-fault script, consulted by a CampaignWorker.
+
+    Pickles with the worker spawn arguments (plain data + counters), so
+    a scripted worker process carries its own sabotage.  The worker
+    calls :meth:`on_chunk_claimed` right after winning a lease,
+    :meth:`stall_before_record` between execution and recording, reads
+    all wall-clock time through :meth:`now`, and its heartbeat thread
+    checks :meth:`heartbeats_frozen` every tick.
+    """
+
+    def __init__(self, faults: Iterable[HostFault]) -> None:
+        self.faults = list(faults)
+        self.claimed = 0
+
+    def now(self, real: float) -> float:
+        """The worker's (possibly skewed) view of ``real`` wall time."""
+        return real + sum(f.skew_s for f in self.faults
+                          if f.kind == "clock_skew")
+
+    def heartbeats_frozen(self) -> bool:
+        return any(f.kind == "freeze_heartbeat"
+                   and self.claimed >= f.after_chunks for f in self.faults)
+
+    def on_chunk_claimed(self) -> None:
+        """Advance the claim ordinal; a due ``sigkill`` fires here —
+        after the lease row is committed, before any result exists."""
+        self.claimed += 1
+        for fault in self.faults:
+            if fault.kind == "sigkill" and self.claimed == fault.after_chunks:
+                os.kill(os.getpid(), signal.SIGKILL)  # no cleanup, no trace
+
+    def stall_before_record(self) -> None:
+        """Sleep out any ``stall`` fault due on the current chunk."""
+        for fault in self.faults:
+            if fault.kind == "stall" and self.claimed == fault.after_chunks:
+                time.sleep(fault.stall_s)

@@ -344,6 +344,111 @@ def _chunked(points: Sequence[Any], size: int) -> list[Sequence[Any]]:
     return [points[i:i + size] for i in range(0, len(points), size)]
 
 
+def stop_satisfied(stop: EarlyStop | None, accounted_total: int,
+                   executed_hits: int, executed_total: int,
+                   n_kept_planned: int, planned: int) -> bool:
+    """The engine's convergence arithmetic, callable outside the run loop.
+
+    ``accounted_total`` is every point with a known outcome so far
+    (executed + filter-census); the filtered stratum has zero variance,
+    so the executed sample's Wilson half-width is scaled by the kept
+    stratum's share of the campaign.  The service layer replays this
+    exact check over a campaign's committed chunk prefix, so a
+    distributed early stop lands on the same chunk a serial run stops
+    at.
+    """
+    if stop is None or accounted_total < stop.min_injections:
+        return False
+    if n_kept_planned == 0:
+        return True  # the filter resolved every point: nothing uncertain
+    if executed_total == 0:
+        return False
+    kept_weight = n_kept_planned / planned if planned else 0.0
+    ci = wilson_interval(executed_hits, executed_total, stop.confidence)
+    return (ci.width / 2) * kept_weight <= stop.margin
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The deterministic half of a campaign: everything derived from
+    ``(backend, config)`` alone, before any execution policy applies.
+
+    ``run_campaign`` builds one internally; the campaign service builds
+    the identical plan *in every worker process* (same enumeration,
+    sampling, filter and chunk partition — the fingerprint proves it),
+    so chunks can be claimed by bare index across hosts and executed
+    anywhere while staying byte-compatible with a serial run.
+    """
+
+    points: list[Any]
+    skipped: list[Injection]
+    chunks: list[Sequence[Any]]
+    seeds: list[int]
+    batch_size: int
+    lane_width: int
+    population: int
+    planned: int
+    fingerprint: str
+
+    @property
+    def n_kept(self) -> int:
+        """Points that must actually execute (post-filter)."""
+        return len(self.points)
+
+
+def plan_campaign(backend: InjectionBackend,
+                  config: EngineConfig) -> CampaignPlan:
+    """Enumerate → (sample/shuffle) → filter → chunk, deterministically.
+
+    Pure in ``(backend, config)``: the sampled point list depends only
+    on ``config.seed``, the filter stage must be lossless and
+    deterministic, and chunk seeds mix the campaign seed with the chunk
+    index — so two processes (or two hosts) planning the same campaign
+    get the same chunks and the same per-chunk RNG streams.  Runs the
+    backend's ``prepare()`` when a filter needs golden-run data.
+    """
+    points = list(backend.enumerate_points())
+    population = len(points)
+    rng = random.Random(config.seed)
+    if config.sample is not None and config.sample < population:
+        points = rng.sample(points, config.sample)
+    elif config.shuffle:
+        points = rng.sample(points, population)
+    planned = len(points)
+
+    skipped: list[Injection] = []
+    filter_points = getattr(backend, "filter_points", None)
+    # backends with a switchable filter expose ``use_filter`` so a
+    # disabled filter costs nothing (no parent-side prepare)
+    if filter_points is not None and getattr(backend, "use_filter", True):
+        backend.prepare()  # filters consult golden-run data
+        kept, skipped_outcomes = filter_points(points)
+        points = list(kept)
+        skipped = list(skipped_outcomes)
+        if len(points) + len(skipped) != planned:
+            raise ValueError(
+                f"{backend.name}.filter_points dropped points: kept "
+                f"{len(points)} + skipped {len(skipped)} != {planned}")
+    # Lane-aware chunk sizing (see
+    # :func:`repro.engine.lanes.aligned_batch_size`): chunks larger than
+    # one lane are rounded *down* to a lane multiple (no fragmented
+    # trailing lane per chunk), and a still-default batch size is raised
+    # to fill one vector-tier lane word.  Pure in the config, so a
+    # resumed campaign recomputes the identical chunk partition.
+    from .lanes import aligned_batch_size  # lanes imports core: defer
+    lane_width = max(1, int(getattr(backend, "lane_width", 1) or 1))
+    batch_size = aligned_batch_size(lane_width, config.batch_size,
+                                    type(config).batch_size)
+    chunks = _chunked(points, batch_size)
+    seeds = [chunk_seed(config.seed, i) for i in range(len(chunks))]
+    fingerprint = _campaign_fingerprint(backend, config, batch_size,
+                                        lane_width, population, planned)
+    return CampaignPlan(points=points, skipped=skipped, chunks=chunks,
+                        seeds=seeds, batch_size=batch_size,
+                        lane_width=lane_width, population=population,
+                        planned=planned, fingerprint=fingerprint)
+
+
 #: Ceiling on the exponential retry backoff (seconds).
 RETRY_BACKOFF_CAP_S = 2.0
 
@@ -428,42 +533,13 @@ def run_campaign(
     accounting path itself (``on_chunk`` hooks, database writes) are
     *not* retried: they propagate and abort the campaign.
     """
-    points = list(backend.enumerate_points())
-    population = len(points)
-    rng = random.Random(config.seed)
-    if config.sample is not None and config.sample < population:
-        points = rng.sample(points, config.sample)
-    elif config.shuffle:
-        points = rng.sample(points, population)
-    planned = len(points)
-
-    skipped: list[Injection] = []
-    filter_points = getattr(backend, "filter_points", None)
-    # backends with a switchable filter expose ``use_filter`` so a
-    # disabled filter costs nothing (no parent-side prepare)
-    if filter_points is not None and getattr(backend, "use_filter", True):
-        backend.prepare()  # filters consult golden-run data
-        kept, skipped_outcomes = filter_points(points)
-        points = list(kept)
-        skipped = list(skipped_outcomes)
-        if len(points) + len(skipped) != planned:
-            raise ValueError(
-                f"{backend.name}.filter_points dropped points: kept "
-                f"{len(points)} + skipped {len(skipped)} != {planned}")
-    # Lane-aware chunk sizing (see
-    # :func:`repro.engine.lanes.aligned_batch_size`): chunks larger than
-    # one lane are rounded *down* to a lane multiple (no fragmented
-    # trailing lane per chunk), and a still-default batch size is raised
-    # to fill one vector-tier lane word.  Pure in the config, so a
-    # resumed campaign recomputes the identical chunk partition.
-    from .lanes import aligned_batch_size  # lanes imports core: defer
-    lane_width = max(1, int(getattr(backend, "lane_width", 1) or 1))
-    batch_size = aligned_batch_size(lane_width, config.batch_size,
-                                    type(config).batch_size)
-    chunks = _chunked(points, batch_size)
-    seeds = [chunk_seed(config.seed, i) for i in range(len(chunks))]
-    fingerprint = _campaign_fingerprint(backend, config, batch_size,
-                                        lane_width, population, planned)
+    plan_spec = plan_campaign(backend, config)
+    points, skipped = plan_spec.points, plan_spec.skipped
+    chunks, seeds = plan_spec.chunks, plan_spec.seeds
+    lane_width = plan_spec.lane_width
+    batch_size = plan_spec.batch_size
+    population, planned = plan_spec.population, plan_spec.planned
+    fingerprint = plan_spec.fingerprint
 
     report = CampaignReport(
         backend=backend.name,
@@ -549,20 +625,13 @@ def run_campaign(
     # differs from the kept one.  Running tallies keep the per-chunk
     # check O(batch), not O(history).
     n_kept_planned = len(points)
-    kept_weight = n_kept_planned / planned if planned else 0.0
     executed_hits = 0
     executed_total = 0
 
     def converged_now() -> bool:
         """Is the overall outcome rate pinned down tightly enough?"""
-        if stop is None or report.total < stop.min_injections:
-            return False
-        if n_kept_planned == 0:
-            return True  # the filter resolved every point: nothing uncertain
-        if executed_total == 0:
-            return False
-        ci = wilson_interval(executed_hits, executed_total, stop.confidence)
-        return (ci.width / 2) * kept_weight <= stop.margin
+        return stop_satisfied(stop, report.total, executed_hits,
+                              executed_total, n_kept_planned, planned)
 
     attempts: dict[int, int] = {}  # chunk index -> failed executions
 
@@ -814,6 +883,13 @@ def run_campaign(
     report.converged = converged
 
     flush_checkpoints()
+    finished = getattr(backend, "campaign_finished", None)
+    if finished is not None:
+        # Optional protocol hook, called only on clean completion: a
+        # backend may release campaign-scoped scratch here (e.g.
+        # ChaosBackend unlinks its cross-process attempt markers).  An
+        # aborted campaign keeps the scratch — a resume may need it.
+        finished()
     report.elapsed_s = time.perf_counter() - start
     return report
 

@@ -42,6 +42,7 @@ import multiprocessing
 import os
 import pickle
 import random
+import sys
 import tempfile
 import threading
 import time
@@ -556,11 +557,17 @@ def _discard_pool(workers: int) -> None:
 
 
 def shutdown_pools() -> None:
-    """Tear down every persistent pool (tests, benchmarks, atexit)."""
+    """Tear down every persistent pool (tests, benchmarks, atexit) and
+    sweep chaos scratch directories (attempt-marker files) with them."""
     pools = list(_pool_registry.values())
     _pool_registry.clear()
     for pool in pools:
         pool.shutdown(wait=False, cancel_futures=True)
+    # Lazy on purpose: chaos is a test/CI tool and must not become
+    # worker-import baggage — only sweep if it was ever imported.
+    chaos = sys.modules.get("repro.engine.chaos")
+    if chaos is not None:
+        chaos.cleanup_scratch()
 
 
 atexit.register(shutdown_pools)

@@ -1,0 +1,263 @@
+"""Chunk leases: the work-claim state machine of the campaign service.
+
+A lease is one row per ``(campaign_id, chunk_index)`` in the shared
+:class:`~repro.core.campaign.CampaignDb` file, contended for by any
+number of worker processes/hosts.  All mutation is single-row
+**conditional UPDATEs** — SQLite serializes writers, so a claim either
+wins (``rowcount == 1``) or harmlessly loses; there is no lock manager
+beyond the database file itself.
+
+State machine::
+
+    pending ──claim──▶ held ──complete──▶ done
+       ▲                │ │
+       │    release /   │ └─fail (budget spent)──▶ failed
+       │    expiry ─────┘
+       └──(released leases and expired 'held' leases are re-claimable;
+           each re-claim of a live-but-expired lease is a *takeover*)
+
+    any non-terminal state ──job cancelled──▶ cancelled
+
+``done``/``failed``/``cancelled`` are terminal.  A ``held`` lease whose
+``deadline`` passed is claimable by anyone — that is the entire
+dead-worker recovery protocol, and it is safe because chunk *records*
+(the engine's checkpoint log) are idempotent and chunk execution is
+deterministic: a stale worker finishing after its lease was reassigned
+writes byte-identical rows that ``INSERT OR IGNORE`` collapses.
+
+Heartbeats are deadline extensions: a live worker pushes the deadlines
+of all leases it holds every ``ttl / 3`` seconds, so only a worker that
+died, froze, or lost its clock lets a deadline lapse.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.campaign import CampaignDb
+
+LEASE_STATES = ("pending", "held", "released", "done", "failed", "cancelled")
+
+#: Terminal lease states: the chunk needs no further execution.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: How many missed heartbeat intervals before a worker row is reaped.
+STALE_WORKER_TTLS = 3.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One chunk's work claim, as read from the database."""
+
+    campaign_id: int
+    chunk_index: int
+    state: str
+    worker_id: str | None
+    deadline: float | None
+    attempts: int
+    takeovers: int
+    error: str | None
+
+
+class LeaseManager:
+    """Lease and worker-registry operations on one CampaignDb connection.
+
+    ``now`` is injectable for two reasons: deterministic tests, and
+    :class:`~repro.engine.chaos.HostChaos` clock skew — a skewed worker
+    must make *all* its deadline arithmetic through its own broken
+    clock, exactly like a real host with a drifting clock would.
+    """
+
+    def __init__(self, db: CampaignDb,
+                 now: Callable[[], float] = time.time) -> None:
+        self.db = db
+        self.now = now
+
+    # -- lease lifecycle -----------------------------------------------
+    def create(self, campaign_id: int, n_chunks: int) -> None:
+        """Materialize one ``pending`` lease per chunk (idempotent)."""
+        self.db.conn.executemany(
+            "INSERT OR IGNORE INTO leases (campaign_id, chunk_index)"
+            " VALUES (?, ?)",
+            [(campaign_id, index) for index in range(n_chunks)])
+        self.db._maybe_commit()
+
+    def claim_next(self, campaign_id: int, worker_id: str,
+                   ttl: float) -> Lease | None:
+        """Claim the lowest claimable chunk, or None when nothing is.
+
+        Claimable: ``pending``, ``released``, or ``held`` past its
+        deadline (a takeover).  The candidate SELECT is advisory — the
+        conditional UPDATE re-checks the predicate atomically, so a
+        lost race just moves on to the next candidate.  Chunks whose
+        *record* already committed are skipped even if their lease is
+        stale (no point re-executing work the checkpoint log already
+        holds).
+        """
+        conn = self.db.conn
+        while True:
+            now = self.now()
+            row = conn.execute(
+                "SELECT chunk_index FROM leases WHERE campaign_id=?"
+                " AND (state='pending' OR state='released'"
+                "      OR (state='held' AND deadline < ?))"
+                " AND chunk_index NOT IN (SELECT chunk_index FROM chunks"
+                "      WHERE campaign_id=? AND status='done')"
+                " ORDER BY chunk_index LIMIT 1",
+                (campaign_id, now, campaign_id)).fetchone()
+            if row is None:
+                return None
+            index = int(row[0])
+            cur = conn.execute(
+                "UPDATE leases SET state='held', worker_id=?, deadline=?,"
+                " attempts=attempts+1,"
+                " takeovers=takeovers + (state='held')"
+                " WHERE campaign_id=? AND chunk_index=?"
+                " AND (state='pending' OR state='released'"
+                "      OR (state='held' AND deadline < ?))",
+                (worker_id, now + ttl, campaign_id, index, now))
+            self.db._maybe_commit()
+            if cur.rowcount:
+                return self.get(campaign_id, index)
+            # lost the race for this index; the next SELECT skips it
+
+    def extend(self, worker_id: str, ttl: float) -> int:
+        """Heartbeat: push every held lease's deadline out by ``ttl``.
+        Returns how many leases were extended."""
+        cur = self.db.conn.execute(
+            "UPDATE leases SET deadline=? WHERE worker_id=? AND state='held'",
+            (self.now() + ttl, worker_id))
+        self.db._maybe_commit()
+        return cur.rowcount
+
+    def complete(self, campaign_id: int, chunk_index: int,
+                 worker_id: str) -> bool:
+        """Mark a held lease done — only if ``worker_id`` still holds it.
+
+        A stale worker whose lease was taken over loses here (rowcount
+        0); its chunk record was still accepted idempotently, and the
+        current holder will complete the lease.
+        """
+        cur = self.db.conn.execute(
+            "UPDATE leases SET state='done', error=NULL"
+            " WHERE campaign_id=? AND chunk_index=? AND worker_id=?"
+            " AND state='held'",
+            (campaign_id, chunk_index, worker_id))
+        self.db._maybe_commit()
+        return bool(cur.rowcount)
+
+    def release(self, campaign_id: int, chunk_index: int, worker_id: str,
+                error: str | None = None) -> bool:
+        """Give a held lease back (failed execution or graceful drain):
+        immediately claimable by any worker, attempt count retained."""
+        cur = self.db.conn.execute(
+            "UPDATE leases SET state='released', deadline=NULL, error=?"
+            " WHERE campaign_id=? AND chunk_index=? AND worker_id=?"
+            " AND state='held'",
+            (error, campaign_id, chunk_index, worker_id))
+        self.db._maybe_commit()
+        return bool(cur.rowcount)
+
+    def fail(self, campaign_id: int, chunk_index: int, worker_id: str,
+             error: str) -> bool:
+        """Quarantine: the chunk's execution budget is spent (terminal)."""
+        cur = self.db.conn.execute(
+            "UPDATE leases SET state='failed', deadline=NULL, error=?"
+            " WHERE campaign_id=? AND chunk_index=? AND worker_id=?"
+            " AND state='held'",
+            (error, campaign_id, chunk_index, worker_id))
+        self.db._maybe_commit()
+        return bool(cur.rowcount)
+
+    def release_all(self, worker_id: str) -> int:
+        """Drain: hand back every lease this worker still holds."""
+        cur = self.db.conn.execute(
+            "UPDATE leases SET state='released', deadline=NULL"
+            " WHERE worker_id=? AND state='held'", (worker_id,))
+        self.db._maybe_commit()
+        return cur.rowcount
+
+    def cancel_open(self, campaign_id: int) -> int:
+        """Cancel every non-terminal lease (job cancelled / converged)."""
+        cur = self.db.conn.execute(
+            "UPDATE leases SET state='cancelled', deadline=NULL"
+            " WHERE campaign_id=? AND state NOT IN ('done', 'failed')",
+            (campaign_id,))
+        self.db._maybe_commit()
+        return cur.rowcount
+
+    # -- views ---------------------------------------------------------
+    def get(self, campaign_id: int, chunk_index: int) -> Lease:
+        row = self.db.conn.execute(
+            "SELECT state, worker_id, deadline, attempts, takeovers, error"
+            " FROM leases WHERE campaign_id=? AND chunk_index=?",
+            (campaign_id, chunk_index)).fetchone()
+        if row is None:
+            raise KeyError(f"no lease ({campaign_id}, {chunk_index})")
+        return Lease(campaign_id, chunk_index, *row)
+
+    def leases(self, campaign_id: int) -> list[Lease]:
+        return [Lease(campaign_id, *row) for row in self.db.conn.execute(
+            "SELECT chunk_index, state, worker_id, deadline, attempts,"
+            " takeovers, error FROM leases WHERE campaign_id=?"
+            " ORDER BY chunk_index", (campaign_id,))]
+
+    def counts(self, campaign_id: int) -> dict[str, int]:
+        return dict(self.db.conn.execute(
+            "SELECT state, COUNT(*) FROM leases WHERE campaign_id=?"
+            " GROUP BY state", (campaign_id,)))
+
+    def takeover_total(self, campaign_id: int) -> int:
+        """How many times expired leases were reassigned — the service's
+        dead/frozen-worker recovery odometer."""
+        row = self.db.conn.execute(
+            "SELECT COALESCE(SUM(takeovers), 0) FROM leases"
+            " WHERE campaign_id=?", (campaign_id,)).fetchone()
+        return int(row[0])
+
+    # -- worker registry (heartbeat + failure accounting) --------------
+    def register_worker(self, worker_id: str, pid: int, host: str) -> None:
+        now = self.now()
+        self.db.conn.execute(
+            "INSERT OR REPLACE INTO service_workers (worker_id, pid, host,"
+            " state, started_at, last_heartbeat) VALUES (?, ?, ?, 'alive',"
+            " ?, ?)", (worker_id, pid, host, now, now))
+        self.db._maybe_commit()
+
+    def heartbeat_worker(self, worker_id: str) -> None:
+        self.db.conn.execute(
+            "UPDATE service_workers SET last_heartbeat=? WHERE worker_id=?",
+            (self.now(), worker_id))
+        self.db._maybe_commit()
+
+    def bump_worker(self, worker_id: str, done: int = 0,
+                    failures: int = 0) -> None:
+        self.db.conn.execute(
+            "UPDATE service_workers SET chunks_done=chunks_done+?,"
+            " failures=failures+? WHERE worker_id=?",
+            (done, failures, worker_id))
+        self.db._maybe_commit()
+
+    def retire_worker(self, worker_id: str, state: str = "gone") -> None:
+        self.db.conn.execute(
+            "UPDATE service_workers SET state=? WHERE worker_id=?",
+            (state, worker_id))
+        self.db._maybe_commit()
+
+    def reap_stale_workers(self, ttl: float) -> int:
+        """Mark workers whose heartbeat lapsed ``STALE_WORKER_TTLS``
+        lease-TTLs ago as gone (observability only — recovery is lease
+        expiry, which needs no reaper)."""
+        cur = self.db.conn.execute(
+            "UPDATE service_workers SET state='gone' WHERE state='alive'"
+            " AND last_heartbeat < ?",
+            (self.now() - STALE_WORKER_TTLS * ttl,))
+        self.db._maybe_commit()
+        return cur.rowcount
+
+    def workers(self) -> list[tuple]:
+        return list(self.db.conn.execute(
+            "SELECT worker_id, pid, host, state, last_heartbeat,"
+            " chunks_done, failures FROM service_workers ORDER BY worker_id"))

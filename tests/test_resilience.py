@@ -660,3 +660,49 @@ class TestExecutorTimeouts:
         with pytest.raises(executors.ChunkTimeout, match="overdue"):
             executors.execute_chunk_timed(Sleeper(), [0], 1, 0.2)
         assert time.perf_counter() - t0 < 2.0
+
+
+# ----------------------------------------------------------------------
+# chaos scratch hygiene: attempt markers must not outlive campaigns
+# ----------------------------------------------------------------------
+class TestChaosScratchCleanup:
+    def test_markers_cleared_on_clean_campaign_completion(self):
+        backend = _chaos("raise", failures=1)
+        report = run_campaign(backend, RETRY_CONFIG)
+        assert report.retried_chunks == 1  # the fault really fired
+        # the campaign_finished hook swept this campaign's markers
+        assert os.path.isdir(backend.scratch_dir)
+        assert os.listdir(backend.scratch_dir) == []
+        # and the budget reset with them: the same wrapper re-runs its
+        # scripted fault afresh on the next campaign
+        report2 = run_campaign(backend, RETRY_CONFIG)
+        assert report2.retried_chunks == 1
+
+    def test_markers_survive_an_aborted_campaign(self):
+        """Only *clean* completion clears markers: an aborted campaign
+        must keep its attempt counts for the resume that follows."""
+        backend = _chaos("raise", failures=1)
+        hook, _ = _abort_after(3)  # past chunk 2, where the fault fires
+        with pytest.raises(AbortCampaign):
+            run_campaign(backend, RETRY_CONFIG, on_chunk=hook)
+        assert os.listdir(backend.scratch_dir) != []
+
+    def test_shutdown_pools_sweeps_owned_scratch_dirs(self):
+        from repro.engine import chaos as chaos_mod
+
+        backend = _chaos("raise", failures=1)
+        scratch = backend.scratch_dir
+        assert scratch in chaos_mod._scratch_dirs
+        executors.shutdown_pools()
+        assert scratch not in chaos_mod._scratch_dirs
+        assert not os.path.exists(scratch)
+
+    def test_caller_supplied_scratch_is_not_owned(self, tmp_path):
+        scratch = tmp_path / "mine"
+        scratch.mkdir()
+        from repro.engine import chaos as chaos_mod
+
+        _chaos("raise", failures=1, scratch_dir=str(scratch))
+        assert str(scratch) not in chaos_mod._scratch_dirs
+        chaos_mod.cleanup_scratch()
+        assert scratch.is_dir()  # cleanup never touches borrowed dirs
